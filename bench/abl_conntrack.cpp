@@ -1,0 +1,99 @@
+// Ablation — conntrack fast path vs rule-scan slow path (google-benchmark).
+//
+// Two things are measured: the real wall-clock cost of our netfilter
+// implementation (hash hit vs chain scan), and the *simulated* per-packet
+// cost each path charges (reported as counters).  This quantifies why the
+// NAT baseline depends so heavily on connection reuse: every new flow pays
+// the rule scan, established flows pay only the lookup.
+#include <benchmark/benchmark.h>
+
+#include "net/netfilter.hpp"
+
+namespace {
+
+using namespace nestv;
+using namespace nestv::net;
+
+const sim::CostModel kCosts{};
+
+Packet flow_packet(std::uint32_t i) {
+  Packet p;
+  p.src_ip = Ipv4Address(172, 17, (i >> 8) & 0xff, i & 0xff);
+  p.dst_ip = Ipv4Address(10, 0, 0, 1);
+  p.proto = L4Proto::kTcp;
+  p.src_port = static_cast<std::uint16_t>(1024 + (i % 60000));
+  p.dst_port = 80;
+  return p;
+}
+
+void setup_rules(Netfilter& nf, int standing_rules) {
+  nf.install_standing_rules(standing_rules);
+  Rule masq;
+  masq.match.src = Ipv4Cidr(Ipv4Address(172, 16, 0, 0), 12);
+  masq.target = TargetKind::kMasquerade;
+  masq.nat_ip = Ipv4Address(192, 168, 0, 5);
+  nf.nat_chain(Hook::kPostrouting).rules.push_back(masq);
+}
+
+void BM_ConntrackMiss(benchmark::State& state) {
+  std::uint64_t sim_cost = 0, packets = 0;
+  std::uint32_t i = 0;
+  Netfilter nf(kCosts);
+  setup_rules(nf, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Packet p = flow_packet(i++);  // fresh tuple: always a miss
+    const auto pre = nf.run_hook(Hook::kPrerouting, p, "docker0", "", i);
+    const auto post =
+        nf.run_hook(Hook::kPostrouting, p, "docker0", "eth0", i);
+    benchmark::DoNotOptimize(p);
+    sim_cost += pre.cost + post.cost;
+    ++packets;
+  }
+  state.counters["sim_ns_per_pkt"] =
+      static_cast<double>(sim_cost) / static_cast<double>(packets);
+}
+BENCHMARK(BM_ConntrackMiss)->Arg(0)->Arg(6)->Arg(20);
+
+void BM_ConntrackHit(benchmark::State& state) {
+  Netfilter nf(kCosts);
+  setup_rules(nf, static_cast<int>(state.range(0)));
+  // Establish one flow, then replay it.
+  Packet first = flow_packet(1);
+  nf.run_hook(Hook::kPrerouting, first, "docker0", "", 0);
+  nf.run_hook(Hook::kPostrouting, first, "docker0", "eth0", 0);
+
+  std::uint64_t sim_cost = 0, packets = 0, t = 1;
+  for (auto _ : state) {
+    Packet p = flow_packet(1);
+    const auto pre = nf.run_hook(Hook::kPrerouting, p, "docker0", "", t);
+    const auto post =
+        nf.run_hook(Hook::kPostrouting, p, "docker0", "eth0", t);
+    benchmark::DoNotOptimize(p);
+    sim_cost += pre.cost + post.cost;
+    ++packets;
+    ++t;
+  }
+  state.counters["sim_ns_per_pkt"] =
+      static_cast<double>(sim_cost) / static_cast<double>(packets);
+}
+BENCHMARK(BM_ConntrackHit)->Arg(0)->Arg(6)->Arg(20);
+
+void BM_FilterChainScan(benchmark::State& state) {
+  Netfilter nf(kCosts);
+  nf.install_standing_rules(static_cast<int>(state.range(0)));
+  std::uint64_t sim_cost = 0, packets = 0;
+  for (auto _ : state) {
+    Packet p = flow_packet(7);
+    const auto r = nf.run_hook(Hook::kForward, p, "eth0", "", 0);
+    benchmark::DoNotOptimize(r);
+    sim_cost += r.cost;
+    ++packets;
+  }
+  state.counters["sim_ns_per_pkt"] =
+      static_cast<double>(sim_cost) / static_cast<double>(packets);
+}
+BENCHMARK(BM_FilterChainScan)->Arg(0)->Arg(6)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

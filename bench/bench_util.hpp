@@ -1,0 +1,151 @@
+// Shared drivers for the figure-regeneration benches.
+//
+// Every bench accepts an optional positional seed argument (default 42) and
+// prints deterministic tables; EXPERIMENTS.md records these outputs against
+// the paper's reported numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/cross_vm.hpp"
+#include "scenario/single_server.hpp"
+#include "sim/cpu.hpp"
+#include "workload/apps.hpp"
+#include "workload/netperf.hpp"
+
+namespace nestv::bench {
+
+/// The paper sweeps message sizes up to ~1408B (fig 4 / fig 10 x-axis).
+inline const std::vector<std::uint32_t>& message_sizes() {
+  static const std::vector<std::uint32_t> sizes{64,  256,  512,
+                                                1024, 1280, 1408};
+  return sizes;
+}
+
+inline std::uint64_t seed_from_args(int argc, char** argv) {
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+}
+
+struct MicroPoint {
+  std::uint32_t msg_bytes = 0;
+  double throughput_mbps = 0.0;
+  double latency_us = 0.0;
+  double latency_stddev_us = 0.0;
+  std::uint64_t transactions = 0;
+};
+
+/// One Netperf point (UDP_RR + TCP_STREAM) on a single-server scenario.
+inline MicroPoint micro_point(scenario::ServerMode mode,
+                              std::uint32_t msg_bytes, std::uint64_t seed,
+                              sim::Duration rr_window = sim::milliseconds(150),
+                              sim::Duration stream_window =
+                                  sim::milliseconds(200)) {
+  scenario::TestbedConfig config;
+  config.seed = seed;
+  auto s = scenario::make_single_server(mode, 5001, config);
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+  const auto rr = np.run_udp_rr(msg_bytes, rr_window);
+  const auto st = np.run_tcp_stream(msg_bytes, stream_window);
+  return {msg_bytes, st.throughput_mbps, rr.mean_latency_us,
+          rr.stddev_latency_us, rr.transactions};
+}
+
+/// One Netperf point on a cross-VM scenario (fig 10).
+inline MicroPoint cross_point(scenario::CrossVmMode mode,
+                              std::uint32_t msg_bytes, std::uint64_t seed,
+                              sim::Duration rr_window = sim::milliseconds(150),
+                              sim::Duration stream_window =
+                                  sim::milliseconds(200)) {
+  scenario::TestbedConfig config;
+  config.seed = seed;
+  auto s = scenario::make_cross_vm(mode, 6001, config);
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 6001);
+  const auto rr = np.run_udp_rr(msg_bytes, rr_window);
+  const auto st = np.run_tcp_stream(msg_bytes, stream_window);
+  return {msg_bytes, st.throughput_mbps, rr.mean_latency_us,
+          rr.stddev_latency_us, rr.transactions};
+}
+
+enum class MacroApp { kMemcached, kNginx, kKafka };
+
+inline const char* to_string(MacroApp a) {
+  switch (a) {
+    case MacroApp::kMemcached: return "memcached";
+    case MacroApp::kNginx: return "nginx";
+    case MacroApp::kKafka: return "kafka";
+  }
+  return "?";
+}
+
+struct MacroResult {
+  workload::LoadResult load;
+  /// usr/sys/soft/guest cores for selected accounts over the run window.
+  struct CpuRow {
+    std::string account;
+    double usr = 0, sys = 0, soft = 0, guest = 0;
+  };
+  std::vector<CpuRow> cpu;
+};
+
+/// Runs one macro app over prepared endpoints, capturing CPU breakdowns.
+template <typename BedOwner>
+MacroResult run_macro(BedOwner& s, MacroApp app, std::uint16_t port,
+                      std::uint64_t seed, sim::Duration window) {
+  auto& engine = s.bed->engine();
+  auto& ledger = s.bed->machine().ledger();
+
+  workload::MacroDeployment d;
+  switch (app) {
+    case MacroApp::kMemcached:
+      d = workload::deploy_memcached(s.client, s.server, port,
+                                     sim::Rng(seed), {});
+      break;
+    case MacroApp::kNginx:
+      d = workload::deploy_nginx(s.client, s.server, port, sim::Rng(seed),
+                                 {});
+      break;
+    case MacroApp::kKafka:
+      d = workload::deploy_kafka(s.client, s.server, port, sim::Rng(seed),
+                                 {});
+      break;
+  }
+
+  // Let connections establish, then measure over a clean CPU window.
+  s.bed->run_for(sim::milliseconds(20));
+  ledger.reset_all();
+  const auto t0 = engine.now();
+
+  MacroResult out;
+  if (d.closed_client) {
+    out.load = d.closed_client->run(engine, window);
+  } else {
+    out.load = d.open_client->run(engine, window);
+  }
+  const auto wall = engine.now() - t0;
+
+  for (const auto* acc : ledger.accounts()) {
+    MacroResult::CpuRow row;
+    row.account = acc->name();
+    row.usr = acc->cores(sim::CpuCategory::kUsr, wall);
+    row.sys = acc->cores(sim::CpuCategory::kSys, wall);
+    row.soft = acc->cores(sim::CpuCategory::kSoft, wall);
+    row.guest = acc->cores(sim::CpuCategory::kGuest, wall);
+    out.cpu.push_back(row);
+  }
+  return out;
+}
+
+inline void print_cpu_rows(const MacroResult& r) {
+  std::printf("    %-28s %7s %7s %7s %7s\n", "account", "usr", "sys", "soft",
+              "guest");
+  for (const auto& row : r.cpu) {
+    if (row.usr + row.sys + row.soft + row.guest < 1e-4) continue;
+    std::printf("    %-28s %7.3f %7.3f %7.3f %7.3f\n", row.account.c_str(),
+                row.usr, row.sys, row.soft, row.guest);
+  }
+}
+
+}  // namespace nestv::bench

@@ -1,0 +1,37 @@
+// Fig 2 — "Network performance under nested and single-level (no
+// container) virtualization": Netperf TCP_STREAM throughput and UDP_RR
+// latency, NAT (nested) vs NoCont (single layer), with the 1280B headline
+// the abstract quotes (~68% throughput degradation, ~31% latency increase).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestv;
+  const auto seed = bench::seed_from_args(argc, argv);
+
+  std::printf("fig 2: nested (NAT) vs single-level (NoCont) Netperf\n");
+  std::printf("%8s | %12s %12s | %12s %12s\n", "msg(B)", "NoCont Mbps",
+              "NAT Mbps", "NoCont us", "NAT us");
+
+  double nocont_1280_tput = 0, nat_1280_tput = 0;
+  double nocont_1280_lat = 0, nat_1280_lat = 0;
+  for (const auto size : bench::message_sizes()) {
+    const auto nocont =
+        bench::micro_point(scenario::ServerMode::kNoCont, size, seed);
+    const auto nat = bench::micro_point(scenario::ServerMode::kNat, size, seed);
+    std::printf("%8u | %12.0f %12.0f | %12.1f %12.1f\n", size,
+                nocont.throughput_mbps, nat.throughput_mbps,
+                nocont.latency_us, nat.latency_us);
+    if (size == 1280) {
+      nocont_1280_tput = nocont.throughput_mbps;
+      nat_1280_tput = nat.throughput_mbps;
+      nocont_1280_lat = nocont.latency_us;
+      nat_1280_lat = nat.latency_us;
+    }
+  }
+  std::printf(
+      "\nheadline @1280B: throughput degradation %.1f%% (paper ~68%%), "
+      "latency increase %.1f%% (paper ~31%%)\n",
+      100.0 * (1.0 - nat_1280_tput / nocont_1280_tput),
+      100.0 * (nat_1280_lat / nocont_1280_lat - 1.0));
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 4 — "BrFusion performance gain using micro-benchmark": Netperf
+// throughput and latency (with stdev bars) for NoCont / NAT / BrFusion
+// across message sizes.  Checks the paper's observations: BrFusion within
+// a few percent of NoCont; NAT stagnating between 1024B and 1280B.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nestv;
+  const auto seed = bench::seed_from_args(argc, argv);
+  const scenario::ServerMode modes[] = {scenario::ServerMode::kNoCont,
+                                        scenario::ServerMode::kNat,
+                                        scenario::ServerMode::kBrFusion};
+
+  std::printf("fig 4: BrFusion micro-benchmark (Netperf)\n");
+  std::printf("%-9s %8s | %12s | %10s %10s | %12s\n", "mode", "msg(B)",
+              "stream Mbps", "lat us", "stddev", "txn/s");
+
+  double nat_1024 = 0, nat_1280 = 0, nocont_1280 = 0, brf_1280 = 0;
+  double nat_lat_1280 = 0, brf_lat_1280 = 0;
+  for (const auto mode : modes) {
+    for (const auto size : bench::message_sizes()) {
+      const auto p = bench::micro_point(mode, size, seed);
+      std::printf("%-9s %8u | %12.0f | %10.1f %10.1f | %12.0f\n",
+                  to_string(mode), size, p.throughput_mbps, p.latency_us,
+                  p.latency_stddev_us,
+                  static_cast<double>(p.transactions) / 0.15);
+      if (mode == scenario::ServerMode::kNat && size == 1024)
+        nat_1024 = p.throughput_mbps;
+      if (size == 1280) {
+        if (mode == scenario::ServerMode::kNat) {
+          nat_1280 = p.throughput_mbps;
+          nat_lat_1280 = p.latency_us;
+        }
+        if (mode == scenario::ServerMode::kNoCont)
+          nocont_1280 = p.throughput_mbps;
+        if (mode == scenario::ServerMode::kBrFusion) {
+          brf_1280 = p.throughput_mbps;
+          brf_lat_1280 = p.latency_us;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "@1280B: BrFusion/NAT throughput = %.2fx (paper: '2.1 times "
+      "greater'), BrFusion vs NoCont = %+.1f%% (paper: within 3.5%%),\n"
+      "        BrFusion latency vs NAT = %+.1f%% (paper: -18.4%%), NAT "
+      "1024->1280 scaling = %+.1f%% (paper: stagnates)\n",
+      brf_1280 / nat_1280, 100.0 * (brf_1280 / nocont_1280 - 1.0),
+      100.0 * (brf_lat_1280 / nat_lat_1280 - 1.0),
+      100.0 * (nat_1280 / nat_1024 - 1.0));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Container start-up timing model (fig 8).
+//
+// The paper defines start-up time as "the duration between ordering Docker
+// to create the container, and the container sending a message through a
+// TCP socket", measured via the TSC passed through the virtual boundary.
+// Phases and magnitudes model Docker CE 18.09 on a 4.19 guest:
+//   runtime  - dockerd/containerd/runc: image prep, overlayfs, cgroups
+//   netns    - network namespace creation
+//   <CNI>    - supplied by the network plugin (bridge+NAT vs BrFusion)
+//   app      - entrypoint exec until the first TCP send
+#pragma once
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::container {
+
+struct BootTimingModel {
+  // Lognormal (mu, sigma) over nanoseconds; e^19.9 ~ 440 ms.
+  double runtime_mu = 19.9;
+  double runtime_sigma = 0.10;
+  double netns_mu = 14.5;    ///< e^14.5 ~ 2.0 ms
+  double netns_sigma = 0.20;
+  double app_mu = 18.6;      ///< e^18.6 ~ 120 ms
+  double app_sigma = 0.12;
+
+  // Bridge+NAT CNI internals.
+  double veth_create_mu = 14.4;      ///< ~1.8 ms
+  double veth_create_sigma = 0.25;
+  double bridge_attach_mu = 14.0;    ///< ~1.2 ms
+  double bridge_attach_sigma = 0.25;
+  /// Per iptables rule insertion: the legacy backend rewrites the whole
+  /// table under the xtables lock, so each insert costs ~1.6 ms with
+  /// contention jitter.
+  double iptables_rule_mu = 14.3;
+  double iptables_rule_sigma = 0.45;
+  int iptables_rules_per_container = 8;
+
+  // BrFusion CNI internals (on top of QMP+probe from vmm::HotplugTiming).
+  double guest_ifconfig_mu = 14.2;   ///< ip addr/link/route in the pod ns
+  double guest_ifconfig_sigma = 0.25;
+
+  [[nodiscard]] sim::Duration sample(sim::Rng& rng, double mu,
+                                     double sigma) const {
+    return static_cast<sim::Duration>(rng.lognormal(mu, sigma));
+  }
+};
+
+}  // namespace nestv::container

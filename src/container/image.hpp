@@ -1,0 +1,17 @@
+// Container images (metadata only; pull/extract cost feeds the boot model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nestv::container {
+
+struct Image {
+  std::string name;
+  std::uint64_t size_mb = 100;
+  int layers = 5;
+  /// Locally cached images skip the pull phase (all fig 8 runs are warm).
+  bool cached = true;
+};
+
+}  // namespace nestv::container

@@ -1,0 +1,48 @@
+// Pods: groups of logically coupled containers sharing a network namespace.
+//
+// A conventional pod has exactly one fragment (one netns in one VM).  With
+// Hostlo the pod may be *disaggregated*: one fragment per VM, each holding
+// the endpoint of the shared Hostlo interface as its localhost (section 4).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "net/stack.hpp"
+#include "vmm/vm.hpp"
+
+namespace nestv::container {
+
+class Pod {
+ public:
+  /// One network namespace of the pod, inside one VM.  The namespace's
+  /// protocol work runs on the hosting VM's softirq vCPU (same guest
+  /// kernel, separate netns).
+  struct Fragment {
+    Pod* pod = nullptr;
+    vmm::Vm* vm = nullptr;
+    std::unique_ptr<net::NetworkStack> stack;
+    std::vector<std::unique_ptr<Container>> containers;
+  };
+
+  explicit Pod(std::string name) : name_(std::move(name)) {}
+
+  Pod(const Pod&) = delete;
+  Pod& operator=(const Pod&) = delete;
+
+  Fragment& add_fragment(vmm::Vm& vm);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Fragment>>& fragments() {
+    return fragments_;
+  }
+  [[nodiscard]] bool is_cross_vm() const { return fragments_.size() > 1; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Fragment>> fragments_;
+};
+
+}  // namespace nestv::container

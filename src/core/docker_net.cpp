@@ -1,0 +1,96 @@
+#include "core/docker_net.hpp"
+
+#include <cassert>
+
+namespace nestv::core {
+
+GuestDockerNetwork::GuestDockerNetwork(vmm::Vm& vm,
+                                       const std::string& uplink,
+                                       net::Ipv4Cidr subnet)
+    : vm_(&vm), uplink_(uplink), subnet_(subnet) {
+  auto& machine = vm.host();
+  auto& engine = machine.engine();
+  const auto& costs = machine.costs();
+
+  gateway_ip_ = subnet_.host(1);
+
+  docker0_ = std::make_unique<net::Bridge>(
+      engine, vm.name() + "/docker0", costs, /*guest_level=*/true);
+  docker0_->set_cpu(&vm.softirq(), sim::CpuCategory::kSoft);
+
+  // The guest kernel owns the gateway address on the bridge.
+  gw_port_ = std::make_unique<net::PortBackend>(
+      engine, vm.name() + "/docker0-port", costs);
+  net::Device::connect(*gw_port_, 0, *docker0_, docker0_->add_port());
+
+  net::InterfaceConfig cfg;
+  cfg.name = "docker0";
+  cfg.mac = machine.allocate_mac();
+  cfg.ip = gateway_ip_;
+  cfg.subnet = subnet_;
+  cfg.gso_bytes = costs.gso_nat_nested;
+  vm.stack().add_interface(*gw_port_, cfg);
+  vm.stack().set_forwarding(true);
+  // br_netfilter: the guest NAT layer linearizes GSO frames (DESIGN.md).
+  vm.stack().set_forced_resegment(costs.gso_nat_nested);
+  // Guest-forwarding service-time noise (see set_forward_jitter).
+  vm.stack().set_forward_jitter(0.7, machine.rng().fork().next_u64());
+
+  // Masquerade container egress to the uplink address (docker's
+  // `-t nat -A POSTROUTING -s 172.17.0.0/16 ! -o docker0 -j MASQUERADE`).
+  const int up = vm.stack().ifindex_of(uplink);
+  assert(up >= 0 && "GuestDockerNetwork requires a configured uplink");
+  net::Rule masq;
+  masq.match.src = subnet_;
+  masq.match.out_iface = uplink;
+  masq.target = net::TargetKind::kMasquerade;
+  masq.nat_ip = vm.stack().iface_ip(up);
+  masq.comment = "docker-masquerade";
+  vm.stack().netfilter().nat_chain(net::Hook::kPostrouting).rules.push_back(
+      masq);
+}
+
+GuestDockerNetwork::Attachment GuestDockerNetwork::attach(
+    container::Pod::Fragment& fragment, std::uint32_t gso_bytes) {
+  auto& machine = vm_->host();
+  auto veth = std::make_unique<net::VethPair>(
+      machine.engine(),
+      vm_->name() + "/veth" + std::to_string(veths_.size()),
+      machine.costs());
+  veth->set_cpu(&vm_->softirq(), sim::CpuCategory::kSoft);
+
+  // Host-side end into docker0.
+  net::Device::connect(veth->a(), 0, *docker0_, docker0_->add_port());
+
+  // Container-side end becomes the fragment's eth0.
+  const auto ip = subnet_.host(next_ip_++);
+  net::InterfaceConfig cfg;
+  cfg.name = "eth0";
+  cfg.mac = machine.allocate_mac();
+  cfg.ip = ip;
+  cfg.subnet = subnet_;
+  cfg.gso_bytes = gso_bytes;
+  const int ifindex = fragment.stack->add_interface(veth->b(), cfg);
+  fragment.stack->routes().add_default(gateway_ip_, ifindex);
+
+  veths_.push_back(std::move(veth));
+  return Attachment{ifindex, ip};
+}
+
+void GuestDockerNetwork::publish_port(std::uint16_t port,
+                                      net::Ipv4Address container_ip) {
+  for (const auto proto : {net::L4Proto::kTcp, net::L4Proto::kUdp}) {
+    net::Rule dnat;
+    dnat.match.proto = proto;
+    dnat.match.dport = port;
+    dnat.match.in_iface = uplink_;  // only traffic entering via the uplink
+    dnat.target = net::TargetKind::kDnat;
+    dnat.nat_ip = container_ip;
+    dnat.nat_port = port;
+    dnat.comment = "docker-publish-" + std::to_string(port);
+    vm_->stack().netfilter().nat_chain(net::Hook::kPrerouting).rules.push_back(
+        dnat);
+  }
+}
+
+}  // namespace nestv::core

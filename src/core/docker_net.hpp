@@ -1,0 +1,59 @@
+// Per-VM Docker bridge networking (the *nested* virtualization layer that
+// BrFusion removes): docker0 bridge, per-container veth, masquerade for
+// egress, DNAT port publishing for ingress.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "container/pod.hpp"
+#include "net/bridge.hpp"
+#include "net/veth.hpp"
+#include "vmm/vm.hpp"
+
+namespace nestv::core {
+
+class GuestDockerNetwork {
+ public:
+  /// Requires the VM's uplink interface (named `uplink`, usually "eth0")
+  /// to be configured already: the masquerade rule rewrites container
+  /// egress to that address, exactly like Docker's default bridge network.
+  GuestDockerNetwork(vmm::Vm& vm, const std::string& uplink = "eth0",
+                     net::Ipv4Cidr subnet = net::Ipv4Cidr(
+                         net::Ipv4Address(172, 17, 0, 0), 16));
+
+  GuestDockerNetwork(const GuestDockerNetwork&) = delete;
+  GuestDockerNetwork& operator=(const GuestDockerNetwork&) = delete;
+
+  struct Attachment {
+    int ifindex = -1;
+    net::Ipv4Address ip;
+  };
+
+  /// Creates a veth pair, plugs one end into docker0 and moves the other
+  /// into the fragment's namespace as eth0 with the next free address and
+  /// a default route via the bridge gateway.  `gso_bytes` models the
+  /// br_netfilter-induced segmentation on this path (CostModel).
+  Attachment attach(container::Pod::Fragment& fragment,
+                    std::uint32_t gso_bytes);
+
+  /// Publishes `port` (both TCP and UDP, as `-p port:port` does) by
+  /// inserting DNAT rules on the VM's PREROUTING chain.
+  void publish_port(std::uint16_t port, net::Ipv4Address container_ip);
+
+  [[nodiscard]] net::Bridge& bridge() { return *docker0_; }
+  [[nodiscard]] net::Ipv4Address gateway_ip() const { return gateway_ip_; }
+  [[nodiscard]] vmm::Vm& vm() { return *vm_; }
+
+ private:
+  vmm::Vm* vm_;
+  std::string uplink_;
+  net::Ipv4Cidr subnet_;
+  net::Ipv4Address gateway_ip_;
+  std::unique_ptr<net::Bridge> docker0_;
+  std::unique_ptr<net::PortBackend> gw_port_;
+  std::vector<std::unique_ptr<net::VethPair>> veths_;
+  std::uint32_t next_ip_ = 2;
+};
+
+}  // namespace nestv::core

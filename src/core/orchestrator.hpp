@@ -1,0 +1,111 @@
+// The pod orchestrator — section 7's end state: "clearly put the
+// orchestrator as the only manager of the datacenter, and [...] integrate
+// the VMM as a tool for the orchestrator."
+//
+// A Kubernetes-shaped control loop over the simulated datacenter: VMs
+// register as nodes with capacities; pods are requested with per-container
+// resources and a network mode; placement follows the "most requested"
+// policy; deployment drives the container runtime and the CNI plugins,
+// including the cross-VM split that only NetworkMode::kHostlo permits.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/pod.hpp"
+#include "container/runtime.hpp"
+#include "core/cni.hpp"
+
+namespace nestv::core {
+
+enum class NetworkMode { kBridgeNat, kBrFusion, kHostlo };
+
+[[nodiscard]] const char* to_string(NetworkMode m);
+
+class Orchestrator {
+ public:
+  Orchestrator(vmm::Vmm& vmm, BridgeNatCni& nat, BrFusionCni& brfusion,
+               HostloCni& hostlo);
+
+  struct NodeCapacity {
+    double cpu = 5.0;      ///< schedulable vCPUs (the paper's VMs: 5)
+    double memory_gb = 4.0;
+  };
+
+  /// Registers a VM as a schedulable node.
+  void register_node(vmm::Vm& vm, NodeCapacity capacity);
+  void register_node(vmm::Vm& vm) { register_node(vm, NodeCapacity{}); }
+
+  struct ContainerRequest {
+    std::string name;
+    double cpu = 0.5;
+    double memory_gb = 0.25;
+    container::Image image{"app"};
+    std::vector<std::uint16_t> publish_ports;
+  };
+
+  struct PodRequest {
+    std::string name;
+    std::vector<ContainerRequest> containers;
+    NetworkMode network = NetworkMode::kBridgeNat;
+  };
+
+  struct Deployment {
+    bool ok = false;
+    std::string reason;  ///< set when !ok
+    container::Pod* pod = nullptr;
+    /// Node of each container, in request order.
+    std::vector<vmm::Vm*> placement;
+  };
+
+  /// Schedules and deploys `request`; `done` fires when every container
+  /// runs (or with ok=false and untouched cluster state when unplaceable).
+  /// kBridgeNat/kBrFusion pods are whole-pod placed; kHostlo pods split
+  /// across nodes when no single node fits.
+  void deploy(PodRequest request, std::function<void(Deployment)> done);
+
+  /// Remaining capacity of a node (for tests/inspection).
+  [[nodiscard]] NodeCapacity free_capacity(const vmm::Vm& vm) const;
+  [[nodiscard]] std::size_t nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t pods_deployed() const { return deployed_; }
+
+ private:
+  struct Node {
+    vmm::Vm* vm = nullptr;
+    NodeCapacity capacity;
+    double used_cpu = 0.0;
+    double used_mem = 0.0;
+    std::unique_ptr<container::Runtime> runtime;
+
+    [[nodiscard]] bool fits(double cpu, double mem) const {
+      return capacity.cpu - used_cpu + 1e-9 >= cpu &&
+             capacity.memory_gb - used_mem + 1e-9 >= mem;
+    }
+    [[nodiscard]] double requested_score() const {
+      return used_cpu / capacity.cpu + used_mem / capacity.memory_gb;
+    }
+  };
+
+  /// Whole-pod placement under "most requested"; nullptr if nothing fits.
+  Node* pick_node(double cpu, double mem);
+  /// Per-container split placement; empty if infeasible.
+  std::vector<Node*> pick_split(const PodRequest& request);
+
+  void boot_containers(container::Pod& pod,
+                       const std::vector<Node*>& placement,
+                       const PodRequest& request,
+                       std::function<void(Deployment)> done);
+
+  vmm::Vmm* vmm_;
+  BridgeNatCni* nat_;
+  BrFusionCni* brfusion_;
+  HostloCni* hostlo_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<container::Pod>> pods_;
+  std::uint64_t deployed_ = 0;
+};
+
+}  // namespace nestv::core

@@ -1,0 +1,52 @@
+#include "core/protocol.hpp"
+
+#include <utility>
+
+namespace nestv::core {
+
+OrchVmmChannel::OrchVmmChannel(vmm::Vmm& vmm, sim::Duration one_way)
+    : vmm_(&vmm), one_way_(one_way) {}
+
+void OrchVmmChannel::request_nic(
+    vmm::Vm& vm, std::function<void(vmm::Vmm::ProvisionedNic)> reply) {
+  messages_ += 2;  // request + reply
+  auto& engine = vmm_->machine().engine();
+  const sim::Duration one_way = one_way_;
+  engine.schedule_in(one_way, [this, &engine, &vm, one_way,
+                               reply = std::move(reply)]() mutable {
+    vmm_->provision_nic(
+        vm, [&engine, one_way, reply = std::move(reply)](
+                vmm::Vmm::ProvisionedNic nic) mutable {
+          engine.schedule_in(one_way, [nic = std::move(nic),
+                                       reply = std::move(reply)]() mutable {
+            reply(std::move(nic));
+          });
+        });
+  });
+}
+
+void OrchVmmChannel::request_hostlo(
+    std::vector<vmm::Vm*> vms,
+    std::function<void(vmm::Vmm::ProvisionedHostlo)> reply) {
+  messages_ += 2;
+  auto& engine = vmm_->machine().engine();
+  const sim::Duration one_way = one_way_;
+  engine.schedule_in(one_way, [this, &engine, one_way,
+                               vms = std::move(vms),
+                               reply = std::move(reply)]() mutable {
+    vmm_->create_hostlo(
+        vms, [&engine, one_way, reply = std::move(reply)](
+                 vmm::Vmm::ProvisionedHostlo result) mutable {
+          // ProvisionedHostlo is move-only in spirit (vector of endpoints);
+          // wrap it for the copyable std::function requirement.
+          auto shared = std::make_shared<vmm::Vmm::ProvisionedHostlo>(
+              std::move(result));
+          engine.schedule_in(one_way, [shared,
+                                       reply = std::move(reply)]() mutable {
+            reply(std::move(*shared));
+          });
+        });
+  });
+}
+
+}  // namespace nestv::core

@@ -1,0 +1,45 @@
+// Orchestrator <-> VMM protocol channel.
+//
+// The paper's key architectural move is to "make the pod orchestrator the
+// main actor of the datacenter, by allowing it to communicate its orders to
+// the virtual machine manager" (section 1).  This channel carries those
+// orders: NIC provisioning requests (BrFusion, section 3.1 steps 1-3) and
+// Hostlo creation requests (section 4.1 steps 1-3), with a message latency
+// for the management-network round trip.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "vmm/vmm.hpp"
+
+namespace nestv::core {
+
+class OrchVmmChannel {
+ public:
+  explicit OrchVmmChannel(vmm::Vmm& vmm,
+                          sim::Duration one_way = sim::microseconds(250));
+
+  /// Step 1-3 of section 3.1: ask for a new NIC on `vm`; the reply carries
+  /// "some sort of identifier of the new NIC (such as the MAC address)".
+  void request_nic(vmm::Vm& vm,
+                   std::function<void(vmm::Vmm::ProvisionedNic)> reply);
+
+  /// Step 1-3 of section 4.1: ask for a new Hostlo multiplexed between the
+  /// given VMs.
+  void request_hostlo(
+      std::vector<vmm::Vm*> vms,
+      std::function<void(vmm::Vmm::ProvisionedHostlo)> reply);
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] vmm::Vmm& vmm() { return *vmm_; }
+
+ private:
+  vmm::Vmm* vmm_;
+  sim::Duration one_way_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace nestv::core

@@ -1,0 +1,71 @@
+#include "core/service.hpp"
+
+namespace nestv::core {
+namespace {
+
+constexpr const char* kRuleComment = "kube-svc";
+
+}  // namespace
+
+void ServiceRegistry::add_node(vmm::Vm& vm) {
+  nodes_.push_back(&vm);
+  program_node(vm);
+}
+
+const ServiceRegistry::Service& ServiceRegistry::expose(
+    const std::string& name, std::uint16_t port,
+    std::vector<net::NatBackend> backends) {
+  Service svc;
+  svc.name = name;
+  const auto existing = services_.find(name);
+  svc.cluster_ip = existing != services_.end()
+                       ? existing->second.cluster_ip
+                       : cidr_.host(next_ip_++);
+  svc.port = port;
+  svc.backends = std::move(backends);
+  services_[name] = std::move(svc);
+  program_all();
+  return services_.at(name);
+}
+
+void ServiceRegistry::add_backend(const std::string& name,
+                                  net::NatBackend backend) {
+  const auto it = services_.find(name);
+  if (it == services_.end()) return;
+  it->second.backends.push_back(backend);
+  program_all();
+}
+
+const ServiceRegistry::Service* ServiceRegistry::find(
+    const std::string& name) const {
+  const auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+void ServiceRegistry::program_all() {
+  for (vmm::Vm* vm : nodes_) program_node(*vm);
+}
+
+void ServiceRegistry::program_node(vmm::Vm& vm) {
+  // kube-proxy rewrites its chains wholesale on every update: drop our
+  // previous rules, then install the current service set on both hooks
+  // (PREROUTING for pod/external traffic, OUTPUT for node-local clients).
+  for (const auto hook : {net::Hook::kPrerouting, net::Hook::kOutput}) {
+    auto& rules = vm.stack().netfilter().nat_chain(hook).rules;
+    std::erase_if(rules, [](const net::Rule& r) {
+      return r.comment.rfind(kRuleComment, 0) == 0;
+    });
+    for (const auto& [name, svc] : services_) {
+      if (svc.backends.empty()) continue;
+      net::Rule rule;
+      rule.match.dst = net::Ipv4Cidr(svc.cluster_ip, 32);
+      rule.match.dport = svc.port;
+      rule.target = net::TargetKind::kDnatRoundRobin;
+      rule.backends = svc.backends;
+      rule.comment = std::string(kRuleComment) + "-" + name;
+      rules.push_back(std::move(rule));
+    }
+  }
+}
+
+}  // namespace nestv::core

@@ -1,0 +1,105 @@
+// Ethernet MAC and IPv4 address value types.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace nestv::net {
+
+/// 48-bit Ethernet MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Locally-administered unicast MAC derived from a 64-bit id; this is how
+  /// the simulated VMM assigns MACs to hot-plugged NICs (the identifier the
+  /// orchestrator receives in step 3 of sections 3.1/4.1).
+  static MacAddress local_from_id(std::uint64_t id);
+
+  static MacAddress broadcast();
+  static std::optional<MacAddress> parse(const std::string& text);
+
+  [[nodiscard]] bool is_broadcast() const;
+  [[nodiscard]] bool is_multicast() const { return octets_[0] & 0x01; }
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+  friend auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address in host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4Address> parse(const std::string& text);
+
+  [[nodiscard]] std::uint32_t value() const { return value_; }
+  [[nodiscard]] bool is_unspecified() const { return value_ == 0; }
+  [[nodiscard]] bool is_loopback() const {
+    return (value_ >> 24) == 127;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Ipv4Address&, const Ipv4Address&) = default;
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv4 prefix (address + mask length), e.g. 10.0.3.0/24.
+class Ipv4Cidr {
+ public:
+  constexpr Ipv4Cidr() = default;
+  Ipv4Cidr(Ipv4Address base, int prefix_len);
+
+  static std::optional<Ipv4Cidr> parse(const std::string& text);
+
+  [[nodiscard]] bool contains(Ipv4Address a) const;
+  [[nodiscard]] Ipv4Address network() const { return base_; }
+  [[nodiscard]] int prefix_len() const { return prefix_len_; }
+  [[nodiscard]] std::uint32_t mask() const;
+  /// The i-th host address within the prefix (1 = first usable).
+  [[nodiscard]] Ipv4Address host(std::uint32_t i) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Ipv4Cidr&, const Ipv4Cidr&) = default;
+
+ private:
+  Ipv4Address base_{};
+  int prefix_len_ = 0;
+};
+
+}  // namespace nestv::net
+
+template <>
+struct std::hash<nestv::net::MacAddress> {
+  std::size_t operator()(const nestv::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.as_u64());
+  }
+};
+
+template <>
+struct std::hash<nestv::net::Ipv4Address> {
+  std::size_t operator()(const nestv::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,47 @@
+#include "net/bridge.hpp"
+
+#include <utility>
+
+namespace nestv::net {
+
+void Fdb::learn(MacAddress mac, int port, sim::TimePoint now) {
+  table_[mac] = Entry{port, now};
+}
+
+int Fdb::lookup(MacAddress mac, sim::TimePoint now) const {
+  const auto it = table_.find(mac);
+  if (it == table_.end()) return -1;
+  if (now - it->second.seen > ageing_) return -1;
+  return it->second.port;
+}
+
+Bridge::Bridge(sim::Engine& engine, std::string name,
+               const sim::CostModel& costs, bool guest_level)
+    : Device(engine, std::move(name), costs), guest_level_(guest_level) {}
+
+void Bridge::ingress(EthernetFrame frame, int port) {
+  fdb_.learn(frame.src, port, engine().now());
+  const sim::Duration work =
+      guest_level_ ? costs().bridge_pkt_guest : costs().bridge_pkt;
+  // `process` may defer; capture what we need by value.
+  process(work, [this, f = std::move(frame), port]() mutable {
+    forward(std::move(f), port);
+  });
+}
+
+void Bridge::forward(EthernetFrame frame, int ingress_port) {
+  const int out = frame.dst.is_broadcast() || frame.dst.is_multicast()
+                      ? -1
+                      : fdb_.lookup(frame.dst, engine().now());
+  if (out >= 0) {
+    if (out != ingress_port) transmit(out, std::move(frame));
+    return;  // hairpin suppressed, as in Linux default
+  }
+  ++floods_;
+  for (int p = 0; p < port_count(); ++p) {
+    if (p == ingress_port) continue;
+    transmit(p, frame);  // copy per egress port
+  }
+}
+
+}  // namespace nestv::net

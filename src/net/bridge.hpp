@@ -1,0 +1,54 @@
+// Learning Ethernet bridge (the Linux `br0` of fig 1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/device.hpp"
+
+namespace nestv::net {
+
+/// Forwarding database: MAC -> (port, last-seen), with aging.
+class Fdb {
+ public:
+  explicit Fdb(sim::Duration ageing = sim::seconds(300)) : ageing_(ageing) {}
+
+  void learn(MacAddress mac, int port, sim::TimePoint now);
+  /// Returns the port for `mac`, or -1 when unknown/expired.
+  [[nodiscard]] int lookup(MacAddress mac, sim::TimePoint now) const;
+  void forget(MacAddress mac) { table_.erase(mac); }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    int port;
+    sim::TimePoint seen;
+  };
+  sim::Duration ageing_;
+  std::unordered_map<MacAddress, Entry> table_;
+};
+
+/// A learning switch.  Frames to unknown/broadcast destinations flood all
+/// ports except the ingress one; known destinations are switched.
+/// Per-frame work (FDB lookup + forward) runs on the bound CPU — in a VM
+/// this is the guest softirq core, which is how the guest bridge
+/// contributes to the nested path's "soft" CPU bill (fig 6/7).
+class Bridge : public Device {
+ public:
+  Bridge(sim::Engine& engine, std::string name, const sim::CostModel& costs,
+         bool guest_level = false);
+
+  void ingress(EthernetFrame frame, int port) override;
+
+  [[nodiscard]] const Fdb& fdb() const { return fdb_; }
+  [[nodiscard]] std::uint64_t floods() const { return floods_; }
+
+ private:
+  void forward(EthernetFrame frame, int ingress_port);
+
+  Fdb fdb_;
+  bool guest_level_;
+  std::uint64_t floods_ = 0;
+};
+
+}  // namespace nestv::net

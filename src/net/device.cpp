@@ -1,0 +1,68 @@
+#include "net/device.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace nestv::net {
+
+Device::Device(sim::Engine& engine, std::string name,
+               const sim::CostModel& costs)
+    : engine_(&engine), name_(std::move(name)), costs_(&costs) {}
+
+int Device::add_port() {
+  ports_.push_back(PortSlot{});
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void Device::connect(Device& a, int pa, Device& b, int pb) {
+  assert(pa >= 0 && pa < a.port_count());
+  assert(pb >= 0 && pb < b.port_count());
+  assert(a.ports_[static_cast<std::size_t>(pa)].peer == nullptr);
+  assert(b.ports_[static_cast<std::size_t>(pb)].peer == nullptr);
+  a.ports_[static_cast<std::size_t>(pa)] = PortSlot{&b, pb};
+  b.ports_[static_cast<std::size_t>(pb)] = PortSlot{&a, pa};
+}
+
+std::pair<int, int> Device::link(Device& a, Device& b) {
+  const int pa = a.add_port();
+  const int pb = b.add_port();
+  connect(a, pa, b, pb);
+  return {pa, pb};
+}
+
+bool Device::process(sim::Duration work, std::function<void()> then) {
+  if (cpu_ == nullptr) {
+    if (work == 0) {
+      then();
+    } else {
+      engine_->schedule_in(work, std::move(then));
+    }
+    return true;
+  }
+  if (max_backlog_ != 0 && cpu_->busy_until() > engine_->now() &&
+      cpu_->busy_until() - engine_->now() > max_backlog_) {
+    ++dropped_;
+    return false;
+  }
+  cpu_->submit_as(cpu_category_, work, std::move(then));
+  return true;
+}
+
+void Device::transmit(int port, EthernetFrame frame) {
+  assert(port >= 0 && port < port_count());
+  const PortSlot& slot = ports_[static_cast<std::size_t>(port)];
+  if (slot.peer == nullptr) {
+    ++dropped_;  // unconnected port: frame goes nowhere
+    return;
+  }
+  ++forwarded_;
+  Device* peer = slot.peer;
+  const int peer_port = slot.peer_port;
+  engine_->schedule_in(
+      costs_->hop_latency,
+      [peer, peer_port, f = std::move(frame)]() mutable {
+        peer->ingress(std::move(f), peer_port);
+      });
+}
+
+}  // namespace nestv::net

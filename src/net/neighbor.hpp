@@ -1,0 +1,40 @@
+// ARP neighbour cache (per interface).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::net {
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(sim::Duration reachable_time = sim::seconds(300))
+      : reachable_(reachable_time) {}
+
+  void insert(Ipv4Address ip, MacAddress mac, sim::TimePoint now) {
+    entries_[ip] = Entry{mac, now};
+  }
+
+  [[nodiscard]] std::optional<MacAddress> lookup(Ipv4Address ip,
+                                                 sim::TimePoint now) const {
+    const auto it = entries_.find(ip);
+    if (it == entries_.end()) return std::nullopt;
+    if (now - it->second.seen > reachable_) return std::nullopt;
+    return it->second.mac;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MacAddress mac;
+    sim::TimePoint seen;
+  };
+  sim::Duration reachable_;
+  std::unordered_map<Ipv4Address, Entry> entries_;
+};
+
+}  // namespace nestv::net

@@ -1,0 +1,283 @@
+#include "net/netfilter.hpp"
+
+#include <cassert>
+
+namespace nestv::net {
+
+const char* to_string(Hook h) {
+  switch (h) {
+    case Hook::kPrerouting: return "PREROUTING";
+    case Hook::kInput: return "INPUT";
+    case Hook::kForward: return "FORWARD";
+    case Hook::kOutput: return "OUTPUT";
+    case Hook::kPostrouting: return "POSTROUTING";
+    case Hook::kCount: break;
+  }
+  return "?";
+}
+
+bool RuleMatch::matches(const Packet& p, const std::string& in,
+                        const std::string& out) const {
+  if (proto && *proto != p.proto) return false;
+  if (src && !src->contains(p.src_ip)) return false;
+  if (dst && !dst->contains(p.dst_ip)) return false;
+  if (sport && *sport != p.src_port) return false;
+  if (dport && *dport != p.dst_port) return false;
+  if (!in_iface.empty() && in_iface != in) return false;
+  if (!out_iface.empty() && out_iface != out) return false;
+  return true;
+}
+
+std::size_t ConnKeyHash::operator()(const ConnKey& k) const noexcept {
+  std::uint64_t h = k.src_ip.value();
+  h = h * 0x9e3779b97f4a7c15ULL + k.dst_ip.value();
+  h = h * 0x9e3779b97f4a7c15ULL +
+      ((std::uint64_t{k.src_port} << 24) | (std::uint64_t{k.dst_port} << 8) |
+       static_cast<std::uint64_t>(k.proto));
+  return static_cast<std::size_t>(h ^ (h >> 29));
+}
+
+void Netfilter::install_standing_rules(int n) {
+  // Rules that match an address range no experiment traffic uses: every
+  // packet pays the scan, none is affected — the shape of Docker's and
+  // Kubernetes's bookkeeping chains.
+  const auto nowhere = Ipv4Cidr(Ipv4Address(203, 0, 113, 0), 24);
+  for (int i = 0; i < n; ++i) {
+    Rule r;
+    r.match.dst = nowhere;
+    r.target = TargetKind::kDrop;
+    r.comment = "standing-" + std::to_string(i);
+    filter_chain(Hook::kForward).rules.push_back(r);
+    filter_chain(Hook::kInput).rules.push_back(r);
+    filter_chain(Hook::kOutput).rules.push_back(r);
+  }
+}
+
+ConnKey Netfilter::key_of(const Packet& p) {
+  return ConnKey{p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto};
+}
+
+const ConnEntry* Netfilter::find_conn(const ConnKey& k) const {
+  const auto it = by_tuple_.find(k);
+  if (it == by_tuple_.end()) return nullptr;
+  const auto cit = conns_.find(it->second);
+  return cit == conns_.end() ? nullptr : &cit->second;
+}
+
+ConnEntry* Netfilter::conntrack_lookup(const Packet& p) {
+  if (p.ct_id != 0) {
+    const auto it = conns_.find(p.ct_id);
+    if (it != conns_.end()) return &it->second;
+  }
+  const auto it = by_tuple_.find(key_of(p));
+  if (it == by_tuple_.end()) return nullptr;
+  const auto cit = conns_.find(it->second);
+  return cit == conns_.end() ? nullptr : &cit->second;
+}
+
+std::uint16_t Netfilter::allocate_port(L4Proto proto, Ipv4Address ip) {
+  // Linear probe from the rolling counter until a tuple-free port is found.
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const std::uint16_t candidate = next_nat_port_;
+    next_nat_port_ =
+        next_nat_port_ >= 60999 ? 32768 : static_cast<std::uint16_t>(
+                                              next_nat_port_ + 1);
+    bool clash = false;
+    for (const auto& [key, _] : by_tuple_) {
+      if (key.proto == proto && key.dst_ip == ip &&
+          key.dst_port == candidate) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) return candidate;
+  }
+  return next_nat_port_;  // table exhausted; reuse is the kernel's fallback too
+}
+
+Netfilter::HookResult Netfilter::run_hook(Hook h, Packet& p,
+                                          const std::string& in,
+                                          const std::string& out,
+                                          sim::TimePoint now) {
+  ++traversals_;
+  const bool is_nat_hook = h == Hook::kPrerouting || h == Hook::kOutput ||
+                           h == Hook::kPostrouting;
+  HookResult total;
+  total.cost += costs_->nf_hook_base;
+  if (is_nat_hook) {
+    const HookResult nat = run_nat(h, p, in, out, now);
+    total.cost += nat.cost;
+    if (nat.verdict == Verdict::kDrop) {
+      total.verdict = Verdict::kDrop;
+      return total;
+    }
+  }
+  if (h == Hook::kInput || h == Hook::kForward || h == Hook::kOutput) {
+    const HookResult f = run_filter(h, p, in, out);
+    total.cost += f.cost;
+    total.verdict = f.verdict;
+  }
+  return total;
+}
+
+Netfilter::HookResult Netfilter::run_nat(Hook h, Packet& p,
+                                         const std::string& in,
+                                         const std::string& out,
+                                         sim::TimePoint now) {
+  HookResult r;
+  ConnEntry* conn = conntrack_lookup(p);
+
+  // ---- fresh flow at a DNAT hook: create the (unconfirmed) entry. -------
+  if (conn == nullptr && (h == Hook::kPrerouting || h == Hook::kOutput)) {
+    r.cost += costs_->conntrack_miss;
+    const std::uint64_t id = next_conn_id_++;
+    ConnEntry entry;
+    entry.orig = key_of(p);
+    entry.last_seen = now;
+    entry.packets = 1;
+
+    const Chain& chain = nat_[static_cast<std::size_t>(h)];
+    for (const Rule& rule : chain.rules) {
+      r.cost += costs_->nf_rule_scan;
+      if (!rule.match.matches(p, in, out)) continue;
+      if (rule.target == TargetKind::kDnat) {
+        entry.dnat = true;
+        entry.dnat_ip = rule.nat_ip;
+        entry.dnat_port = rule.nat_port != 0 ? rule.nat_port : p.dst_port;
+        p.dst_ip = entry.dnat_ip;
+        p.dst_port = entry.dnat_port;
+        r.cost += costs_->nat_rewrite;
+      } else if (rule.target == TargetKind::kDnatRoundRobin &&
+                 !rule.backends.empty()) {
+        // kube-proxy: each *new flow* takes the next endpoint; conntrack
+        // pins the established flow to it (session affinity for free).
+        const NatBackend& backend =
+            rule.backends[rr_counter_++ % rule.backends.size()];
+        entry.dnat = true;
+        entry.dnat_ip = backend.ip;
+        entry.dnat_port = backend.port != 0 ? backend.port : p.dst_port;
+        p.dst_ip = entry.dnat_ip;
+        p.dst_port = entry.dnat_port;
+        r.cost += costs_->nat_rewrite;
+      } else if (rule.target == TargetKind::kDrop) {
+        r.verdict = Verdict::kDrop;
+      }
+      break;
+    }
+    conns_.emplace(id, entry);
+    by_tuple_[entry.orig] = id;
+    p.ct_id = id;
+    p.ct_reply = false;
+    return r;
+  }
+
+  // ---- fresh flow seen first at POSTROUTING (bridged/local traffic that
+  // bypassed the DNAT hooks): create the entry here, then fall through to
+  // the confirmation path below.
+  if (conn == nullptr) {
+    r.cost += costs_->conntrack_miss;
+    const std::uint64_t id = next_conn_id_++;
+    ConnEntry entry;
+    entry.orig = key_of(p);
+    entry.last_seen = now;
+    entry.packets = 0;  // incremented below
+    conns_.emplace(id, entry);
+    by_tuple_[entry.orig] = id;
+    p.ct_id = id;
+    p.ct_reply = false;
+    conn = &conns_.at(id);
+  } else {
+    r.cost += costs_->conntrack_hit;
+    if (p.ct_id == 0) {
+      // First hook of this traversal: fix the packet's direction.
+      p.ct_reply = conn->confirmed && key_of(p) == conn->reply;
+      p.ct_id = by_tuple_.at(p.ct_reply ? conn->reply : conn->orig);
+    }
+  }
+  conn->last_seen = now;
+  ++conn->packets;
+
+  if (!p.ct_reply) {
+    if ((h == Hook::kPrerouting || h == Hook::kOutput) && conn->dnat) {
+      p.dst_ip = conn->dnat_ip;
+      p.dst_port = conn->dnat_port;
+      r.cost += costs_->nat_rewrite;
+    }
+    if (h == Hook::kPostrouting) {
+      if (!conn->confirmed) {
+        // First packet of the flow reaches POSTROUTING: decide SNAT and
+        // confirm the reply tuple (nf_nat_ipv4_out + __nf_conntrack_confirm).
+        const Chain& chain =
+            nat_[static_cast<std::size_t>(Hook::kPostrouting)];
+        for (const Rule& rule : chain.rules) {
+          r.cost += costs_->nf_rule_scan;
+          if (!rule.match.matches(p, in, out)) continue;
+          if (rule.target == TargetKind::kSnat ||
+              rule.target == TargetKind::kMasquerade) {
+            conn->snat = true;
+            conn->snat_ip = rule.nat_ip;
+            conn->snat_port = rule.nat_port != 0
+                                  ? rule.nat_port
+                                  : allocate_port(p.proto, rule.nat_ip);
+            p.src_ip = conn->snat_ip;
+            p.src_port = conn->snat_port;
+            r.cost += costs_->nat_rewrite;
+          }
+          break;
+        }
+        conn->reply =
+            ConnKey{p.dst_ip, p.src_ip, p.dst_port, p.src_port, p.proto};
+        by_tuple_[conn->reply] = p.ct_id;
+        conn->confirmed = true;
+      } else if (conn->snat) {
+        p.src_ip = conn->snat_ip;
+        p.src_port = conn->snat_port;
+        r.cost += costs_->nat_rewrite;
+      }
+    }
+  } else {
+    // Reply direction: undo the recorded translations.
+    if ((h == Hook::kPrerouting || h == Hook::kOutput) && conn->snat) {
+      p.dst_ip = conn->orig.src_ip;
+      p.dst_port = conn->orig.src_port;
+      r.cost += costs_->nat_rewrite;
+    }
+    if (h == Hook::kPostrouting && conn->dnat) {
+      p.src_ip = conn->orig.dst_ip;
+      p.src_port = conn->orig.dst_port;
+      r.cost += costs_->nat_rewrite;
+    }
+  }
+  return r;
+}
+
+Netfilter::HookResult Netfilter::run_filter(Hook h, Packet& p,
+                                            const std::string& in,
+                                            const std::string& out) {
+  HookResult r;
+  const Chain& chain = filter_[static_cast<std::size_t>(h)];
+  for (const Rule& rule : chain.rules) {
+    r.cost += costs_->nf_rule_scan;
+    if (!rule.match.matches(p, in, out)) continue;
+    if (rule.target == TargetKind::kDrop) {
+      r.verdict = Verdict::kDrop;
+    }
+    return r;
+  }
+  r.verdict = chain.policy;
+  return r;
+}
+
+void Netfilter::expire(sim::TimePoint now, sim::Duration idle_timeout) {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (now - it->second.last_seen > idle_timeout) {
+      by_tuple_.erase(it->second.orig);
+      if (it->second.confirmed) by_tuple_.erase(it->second.reply);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace nestv::net

@@ -1,0 +1,95 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace nestv::net {
+
+const char* to_string(L4Proto p) {
+  switch (p) {
+    case L4Proto::kUdp: return "udp";
+    case L4Proto::kTcp: return "tcp";
+    case L4Proto::kIcmp: return "icmp";
+  }
+  return "?";
+}
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  if (syn) s += 'S';
+  if (ack) s += 'A';
+  if (fin) s += 'F';
+  if (rst) s += 'R';
+  if (psh) s += 'P';
+  return s.empty() ? "-" : s;
+}
+
+Packet::Packet(const Packet& other)
+    : src_ip(other.src_ip),
+      dst_ip(other.dst_ip),
+      proto(other.proto),
+      src_port(other.src_port),
+      dst_port(other.dst_port),
+      ttl(other.ttl),
+      ip_id(other.ip_id),
+      frag_offset(other.frag_offset),
+      frag_more(other.frag_more),
+      icmp_type(other.icmp_type),
+      icmp_code(other.icmp_code),
+      icmp_id(other.icmp_id),
+      icmp_seq(other.icmp_seq),
+      tcp_seq(other.tcp_seq),
+      tcp_ack(other.tcp_ack),
+      tcp_flags(other.tcp_flags),
+      tcp_window(other.tcp_window),
+      payload_bytes(other.payload_bytes),
+      packet_id(other.packet_id),
+      ct_id(other.ct_id),
+      ct_reply(other.ct_reply),
+      sent_at(other.sent_at) {
+  if (other.inner) inner = std::make_unique<EthernetFrame>(*other.inner);
+}
+
+Packet& Packet::operator=(const Packet& other) {
+  if (this == &other) return *this;
+  Packet tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+Packet::~Packet() = default;
+
+std::uint32_t Packet::l4_header_bytes() const {
+  switch (proto) {
+    case L4Proto::kUdp: return kUdpHeaderBytes;
+    case L4Proto::kTcp: return kTcpHeaderBytes;
+    case L4Proto::kIcmp: return 8;
+  }
+  return 8;
+}
+
+std::uint32_t Packet::ip_total_bytes() const {
+  std::uint32_t inner_bytes = inner ? inner->wire_bytes() : 0;
+  return kIpv4HeaderBytes + l4_header_bytes() + payload_bytes + inner_bytes;
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s %s:%u -> %s:%u len=%u%s%s",
+                net::to_string(proto), src_ip.to_string().c_str(), src_port,
+                dst_ip.to_string().c_str(), dst_port, payload_bytes,
+                proto == L4Proto::kTcp
+                    ? (" flags=" + tcp_flags.to_string()).c_str()
+                    : "",
+                inner ? " [vxlan-inner]" : "");
+  return buf;
+}
+
+std::string EthernetFrame::describe() const {
+  if (ethertype == 0x0806) {
+    return std::string("arp ") + (arp_is_request ? "who-has " : "is-at ") +
+           arp_target_ip.to_string() + " tell " + arp_sender_ip.to_string();
+  }
+  return packet.describe();
+}
+
+}  // namespace nestv::net

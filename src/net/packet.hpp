@@ -1,0 +1,123 @@
+// Packet and frame value types moved through the simulated datapath.
+//
+// Headers are modeled as structured fields (sizes are accounted exactly;
+// payload bytes are carried as a length, not a buffer).  net/wire.hpp can
+// serialize these structures to real octets with valid checksums for tests
+// and for the VXLAN encapsulation path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::net {
+
+enum class L4Proto : std::uint8_t {
+  kUdp = 17,
+  kTcp = 6,
+  kIcmp = 1,
+};
+
+[[nodiscard]] const char* to_string(L4Proto p);
+
+/// TCP flag bits (subset used by the simplified TCP implementation).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const TcpFlags&, const TcpFlags&) = default;
+};
+
+constexpr std::uint32_t kEthernetHeaderBytes = 14;
+constexpr std::uint32_t kIpv4HeaderBytes = 20;
+constexpr std::uint32_t kUdpHeaderBytes = 8;
+constexpr std::uint32_t kTcpHeaderBytes = 20;
+
+/// An IPv4 packet with one L4 header.  Copyable (deep-copies any
+/// encapsulated frame); Hostlo's reflect-to-all-queues duplicates frames,
+/// so copies must be genuine duplicates.
+struct Packet {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  L4Proto proto = L4Proto::kUdp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint16_t ip_id = 0;
+  /// IPv4 fragmentation (UDP datagrams larger than the egress MTU).
+  std::uint16_t frag_offset = 0;  ///< payload byte offset of this fragment
+  bool frag_more = false;         ///< MF bit
+
+  // ICMP-only fields.
+  std::uint8_t icmp_type = 0;  ///< 8=echo request, 0=echo reply, 3=unreach,
+                               ///< 11=time exceeded
+  std::uint8_t icmp_code = 0;
+  std::uint16_t icmp_id = 0;
+  std::uint16_t icmp_seq = 0;
+
+  // TCP-only fields.
+  std::uint32_t tcp_seq = 0;
+  std::uint32_t tcp_ack = 0;
+  TcpFlags tcp_flags;
+  std::uint32_t tcp_window = 0;
+
+  /// L4 payload length in bytes (the bytes themselves are not simulated).
+  std::uint32_t payload_bytes = 0;
+
+  /// Monotonic id for tracing/debugging, assigned by the sender's stack.
+  std::uint64_t packet_id = 0;
+  /// Conntrack attachment, emulating skb->_nfct: valid only within one
+  /// stack's hook traversal; reset by every stack on packet entry.
+  std::uint64_t ct_id = 0;
+  /// Direction of this packet w.r.t. its tracked connection.
+  bool ct_reply = false;
+  /// Simulated instant the packet left the sending socket, for latency
+  /// bookkeeping (the DES clock stands in for the paper's cross-VM TSC).
+  sim::TimePoint sent_at = 0;
+
+  /// VXLAN: the encapsulated inner frame, if any.
+  std::unique_ptr<struct EthernetFrame> inner;
+
+  Packet() = default;
+  Packet(const Packet& other);
+  Packet& operator=(const Packet& other);
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+  ~Packet();
+
+  [[nodiscard]] std::uint32_t l4_header_bytes() const;
+  /// Total IP datagram length (IP header + L4 header + payload + inner).
+  [[nodiscard]] std::uint32_t ip_total_bytes() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Ethernet frame carrying one IPv4 packet or an ARP message.
+struct EthernetFrame {
+  MacAddress src;
+  MacAddress dst;
+  std::uint16_t ethertype = 0x0800;  ///< IPv4 by default; 0x0806 = ARP
+
+  Packet packet;  ///< valid when ethertype == 0x0800
+
+  // ARP fields (valid when ethertype == 0x0806).
+  bool arp_is_request = false;
+  Ipv4Address arp_sender_ip;
+  Ipv4Address arp_target_ip;
+  MacAddress arp_sender_mac;
+
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    return kEthernetHeaderBytes +
+           (ethertype == 0x0800 ? packet.ip_total_bytes() : 28);
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace nestv::net

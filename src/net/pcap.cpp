@@ -1,0 +1,50 @@
+#include "net/pcap.hpp"
+
+#include <stdexcept>
+
+#include "net/wire.hpp"
+
+namespace nestv::net {
+
+PcapWriter::PcapWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("pcap: cannot open " + path);
+  }
+  // Global header: magic, version 2.4, tz 0, sigfigs 0, snaplen, linktype.
+  put_u32(0xa1b2c3d4);
+  put_u16(2);
+  put_u16(4);
+  put_u32(0);
+  put_u32(0);
+  put_u32(65535);
+  put_u32(1);  // LINKTYPE_ETHERNET
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  std::fwrite(&v, sizeof v, 1, file_);  // host endian, per pcap convention
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  std::fwrite(&v, sizeof v, 1, file_);
+}
+
+void PcapWriter::record(sim::TimePoint when, const EthernetFrame& frame) {
+  const auto bytes = wire::serialize_frame(frame);
+  put_u32(static_cast<std::uint32_t>(when / sim::kSecond));
+  put_u32(static_cast<std::uint32_t>((when % sim::kSecond) / 1000));  // us
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  ++frames_;
+}
+
+void PcapWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace nestv::net

@@ -1,0 +1,46 @@
+// pcap capture of simulated traffic.
+//
+// Writes classic libpcap files (magic 0xa1b2c3d4, LINKTYPE_ETHERNET) whose
+// frames are rendered through net/wire.hpp, so tcpdump/wireshark open the
+// simulation's traffic directly.  Timestamps are the simulated clock.
+// Attach a writer to any NetworkStack (NetworkStack::attach_capture) to
+// get the moral equivalent of `tcpdump -i any` inside that namespace.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::net {
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global header.  Throws std::runtime_error
+  /// if the file cannot be created.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Appends one frame with the given simulated timestamp.
+  void record(sim::TimePoint when, const EthernetFrame& frame);
+
+  void flush();
+  [[nodiscard]] std::uint64_t frames_written() const { return frames_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void put_u32(std::uint32_t v);
+  void put_u16(std::uint16_t v);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace nestv::net

@@ -1,0 +1,20 @@
+#include "net/route.hpp"
+
+namespace nestv::net {
+
+std::optional<RouteDecision> RoutingTable::lookup(Ipv4Address dst) const {
+  const Route* best = nullptr;
+  for (const Route& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (best == nullptr || r.prefix.prefix_len() > best->prefix.prefix_len() ||
+        (r.prefix.prefix_len() == best->prefix.prefix_len() &&
+         r.metric < best->metric)) {
+      best = &r;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return RouteDecision{best->ifindex,
+                       best->gateway ? *best->gateway : dst};
+}
+
+}  // namespace nestv::net

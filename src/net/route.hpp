@@ -1,0 +1,48 @@
+// IPv4 routing table with longest-prefix-match lookup.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace nestv::net {
+
+struct Route {
+  Ipv4Cidr prefix;
+  int ifindex = -1;
+  /// Next-hop gateway; unset for directly-connected prefixes.
+  std::optional<Ipv4Address> gateway;
+  int metric = 0;
+};
+
+struct RouteDecision {
+  int ifindex = -1;
+  /// The address to ARP for: the gateway if any, else the destination.
+  Ipv4Address next_hop;
+};
+
+class RoutingTable {
+ public:
+  void add(const Route& r) { routes_.push_back(r); }
+  void add_connected(Ipv4Cidr prefix, int ifindex) {
+    routes_.push_back(Route{prefix, ifindex, std::nullopt, 0});
+  }
+  void add_default(Ipv4Address gateway, int ifindex) {
+    routes_.push_back(
+        Route{Ipv4Cidr(Ipv4Address(0), 0), ifindex, gateway, 0});
+  }
+
+  /// Longest-prefix match; ties broken by lowest metric, then insertion
+  /// order.  Returns nullopt when no route covers `dst`.
+  [[nodiscard]] std::optional<RouteDecision> lookup(Ipv4Address dst) const;
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+  [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace nestv::net

@@ -1,0 +1,750 @@
+#include "net/stack.hpp"
+
+#include "net/pcap.hpp"
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "net/tcp.hpp"
+
+namespace nestv::net {
+
+// ---- TcpSocket ------------------------------------------------------------
+
+void TcpSocket::send(std::uint32_t bytes, std::function<void()> on_queued) {
+  conn_->app_send(bytes, std::move(on_queued));
+}
+void TcpSocket::set_on_writable(std::function<void()> cb) {
+  conn_->set_on_writable(std::move(cb));
+}
+std::uint32_t TcpSocket::buffered() const { return conn_->buffered(); }
+std::uint16_t TcpSocket::local_port() const { return conn_->local_port(); }
+std::uint16_t TcpSocket::remote_port() const { return conn_->remote_port(); }
+std::uint32_t TcpSocket::congestion_window() const {
+  return conn_->congestion_window();
+}
+double TcpSocket::srtt_ns() const { return conn_->srtt_ns(); }
+void TcpSocket::set_on_receive(std::function<void(std::uint32_t)> cb) {
+  conn_->set_on_receive(std::move(cb));
+}
+void TcpSocket::set_on_connected(std::function<void()> cb) {
+  conn_->set_on_connected(std::move(cb));
+}
+void TcpSocket::set_on_closed(std::function<void()> cb) {
+  conn_->set_on_closed(std::move(cb));
+}
+void TcpSocket::close() { conn_->close(); }
+bool TcpSocket::established() const {
+  return conn_->state() == TcpConnection::State::kEstablished;
+}
+std::uint64_t TcpSocket::bytes_received() const {
+  return conn_->bytes_received();
+}
+std::uint64_t TcpSocket::bytes_sent() const { return conn_->bytes_sent(); }
+std::uint64_t TcpSocket::retransmits() const { return conn_->retransmits(); }
+
+// ---- NetworkStack -----------------------------------------------------------
+
+NetworkStack::NetworkStack(sim::Engine& engine, std::string name,
+                           const sim::CostModel& costs,
+                           sim::SerialResource* softirq)
+    : engine_(&engine),
+      name_(std::move(name)),
+      costs_(&costs),
+      softirq_(softirq),
+      nf_(costs) {
+  // Interface 0 is always loopback.
+  Interface lo;
+  lo.cfg.name = "lo";
+  lo.cfg.ip = Ipv4Address(127, 0, 0, 1);
+  lo.cfg.subnet = Ipv4Cidr(Ipv4Address(127, 0, 0, 0), 8);
+  lo.cfg.mtu = 65536;
+  lo.cfg.gso_bytes = costs.gso_loopback;
+  ifaces_.push_back(std::move(lo));
+  routes_.add_connected(ifaces_[0].cfg.subnet, 0);
+}
+
+NetworkStack::~NetworkStack() = default;
+
+int NetworkStack::add_interface(InterfaceBackend& backend,
+                                const InterfaceConfig& cfg) {
+  const int ifindex = static_cast<int>(ifaces_.size());
+  Interface itf;
+  itf.cfg = cfg;
+  itf.backend = &backend;
+  ifaces_.push_back(std::move(itf));
+  backend.set_rx(
+      [this, ifindex](EthernetFrame f) { rx(ifindex, std::move(f)); });
+  if (cfg.subnet.prefix_len() > 0) {
+    routes_.add_connected(cfg.subnet, ifindex);
+  }
+  return ifindex;
+}
+
+void NetworkStack::configure_loopback(std::uint32_t gso_bytes) {
+  ifaces_[0].cfg.gso_bytes = gso_bytes;
+}
+
+int NetworkStack::ifindex_of(const std::string& name) const {
+  for (std::size_t i = 0; i < ifaces_.size(); ++i) {
+    if (ifaces_[i].cfg.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Ipv4Address NetworkStack::iface_ip(int ifindex) const {
+  return ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.ip;
+}
+
+MacAddress NetworkStack::iface_mac(int ifindex) const {
+  return ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.mac;
+}
+
+void NetworkStack::set_iface_gso(int ifindex, std::uint32_t gso_bytes) {
+  ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.gso_bytes = gso_bytes;
+}
+
+void NetworkStack::seed_neighbor(int ifindex, Ipv4Address ip,
+                                 MacAddress mac) {
+  ifaces_.at(static_cast<std::size_t>(ifindex))
+      .neighbors.insert(ip, mac, engine_->now());
+}
+
+std::uint32_t NetworkStack::egress_gso(Ipv4Address dst) const {
+  if (is_local_address(dst)) return ifaces_[0].cfg.gso_bytes;
+  const auto r = routes_.lookup(dst);
+  if (!r || r->ifindex < 0 ||
+      static_cast<std::size_t>(r->ifindex) >= ifaces_.size()) {
+    return 1448;
+  }
+  return ifaces_[static_cast<std::size_t>(r->ifindex)].cfg.gso_bytes;
+}
+
+bool NetworkStack::is_local_address(Ipv4Address a) const {
+  if (a.is_loopback()) return true;
+  for (const Interface& i : ifaces_) {
+    if (!i.cfg.ip.is_unspecified() && i.cfg.ip == a) return true;
+  }
+  return false;
+}
+
+void NetworkStack::softirq_run(sim::Duration work,
+                               std::function<void()> then) {
+  if (softirq_ == nullptr) {
+    if (work == 0) {
+      then();
+    } else {
+      engine_->schedule_in(work, std::move(then));
+    }
+    return;
+  }
+  softirq_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
+}
+
+// ---- RX path ----------------------------------------------------------------
+
+void NetworkStack::rx(int ifindex, EthernetFrame frame) {
+  const Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
+  if (capture_ != nullptr) capture_->record(engine_->now(), frame);
+  // MAC filter: frames not for us (Hostlo's reflect-to-all-queues shows
+  // every endpoint every frame) cost a lookup and are dropped here.
+  if (!frame.dst.is_broadcast() && !frame.dst.is_multicast() &&
+      frame.dst != itf.cfg.mac) {
+    softirq_run(costs_->arp_hit, [this] { ++dropped_; });
+    return;
+  }
+  if (frame.ethertype == 0x0806) {
+    softirq_run(costs_->arp_hit,
+                [this, ifindex, f = std::move(frame)] { handle_arp(ifindex, f); });
+    return;
+  }
+  if (frame.ethertype != 0x0800) {
+    ++dropped_;
+    return;
+  }
+  Packet p = std::move(frame.packet);
+  if (nestv_trace_enabled())
+    std::fprintf(stderr, "[%s t=%llu] rx if=%d %s\n", name_.c_str(),
+                 (unsigned long long)engine_->now(), ifindex, p.describe().c_str());
+  p.ct_id = 0;  // conntrack attachment is per-stack
+  p.ct_reply = false;
+  if (gro_enabled_ && forced_resegment_ == 0 && p.proto == L4Proto::kTcp &&
+      p.payload_bytes > 0 && !p.inner) {
+    gro_rx(ifindex, std::move(p));
+    return;
+  }
+  ip_rx(ifindex, std::move(p));
+}
+
+void NetworkStack::gro_rx(int ifindex, Packet p) {
+  const ConnKey key{p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto};
+  auto it = gro_flows_.find(key);
+
+  // Merge only strictly in-order continuations below the 64KB IP limit.
+  if (it != gro_flows_.end()) {
+    GroFlow& flow = it->second;
+    const bool contiguous =
+        flow.merged.tcp_seq + flow.merged.payload_bytes == p.tcp_seq;
+    if (!contiguous ||
+        flow.merged.payload_bytes + p.payload_bytes > 65000 ||
+        flow.ifindex != ifindex) {
+      gro_flush(key);
+      it = gro_flows_.end();
+    }
+  }
+
+  if (it == gro_flows_.end()) {
+    GroFlow flow;
+    flow.merged = p;
+    flow.ifindex = ifindex;
+    flow.count = 1;
+    const bool flush_now = p.tcp_flags.psh;
+    auto [ins, ok] = gro_flows_.emplace(key, std::move(flow));
+    (void)ok;
+    if (flush_now) {
+      gro_flush(key);
+    } else {
+      ins->second.flush_timer = engine_->schedule_in(
+          costs_->gro_timeout, [this, key] { gro_flush(key); });
+    }
+    softirq_run(costs_->gro_pkt, [] {});
+    return;
+  }
+
+  GroFlow& flow = it->second;
+  flow.merged.payload_bytes += p.payload_bytes;
+  flow.merged.tcp_ack = p.tcp_ack;
+  flow.merged.tcp_flags.psh = flow.merged.tcp_flags.psh || p.tcp_flags.psh;
+  flow.merged.tcp_flags.fin = flow.merged.tcp_flags.fin || p.tcp_flags.fin;
+  ++flow.count;
+  softirq_run(costs_->gro_pkt, [] {});
+  if (flow.merged.tcp_flags.psh || flow.merged.tcp_flags.fin) {
+    gro_flush(key);
+  }
+}
+
+void NetworkStack::reassemble_rx(int ifindex, Packet p) {
+  const ReassemblyKey key{p.src_ip, p.dst_ip, p.ip_id};
+  auto it = reassembly_.find(key);
+  if (it == reassembly_.end()) {
+    ReassemblyState state;
+    state.ifindex = ifindex;
+    state.timeout = engine_->schedule_in(sim::seconds(30), [this, key] {
+      // RFC 791 reassembly timeout: discard the partial datagram.
+      if (reassembly_.erase(key) > 0) ++reassembly_failures_;
+    });
+    it = reassembly_.emplace(key, std::move(state)).first;
+  }
+  ReassemblyState& state = it->second;
+  state.received += p.payload_bytes;
+  if (!p.frag_more) {
+    state.total = p.frag_offset + p.payload_bytes;
+  }
+  if (p.frag_offset == 0) {
+    state.first = std::move(p);  // carries the L4 header fields
+  }
+  // Per-fragment kernel work (lookup + queueing into the frag queue).
+  softirq_run(costs_->gro_pkt, [] {});
+
+  if (state.total != 0 && state.received >= state.total) {
+    Packet merged = std::move(state.first);
+    merged.payload_bytes = state.total;
+    merged.frag_more = false;
+    merged.frag_offset = 0;
+    const int in_if = state.ifindex;
+    engine_->cancel(state.timeout);
+    reassembly_.erase(it);
+    ip_rx(in_if, std::move(merged));
+  }
+}
+
+void NetworkStack::gro_flush(const ConnKey& key) {
+  const auto it = gro_flows_.find(key);
+  if (it == gro_flows_.end()) return;
+  GroFlow flow = std::move(it->second);
+  // Cancelling an already-fired timer is a safe no-op (EventQueue tracks
+  // pending ids), so flushing from the timer itself needs no special case.
+  if (flow.flush_timer != 0) engine_->cancel(flow.flush_timer);
+  gro_flows_.erase(it);
+  ip_rx(flow.ifindex, std::move(flow.merged));
+}
+
+void NetworkStack::ip_rx(int ifindex, Packet p) {
+  // nf_defrag: fragments are reassembled before any hook runs.
+  if (p.frag_more || p.frag_offset > 0) {
+    reassemble_rx(ifindex, std::move(p));
+    return;
+  }
+  // br_netfilter linearization: split oversized TCP GSO frames so each
+  // resulting packet traverses the hooks (and pays their cost) separately.
+  if (forced_resegment_ != 0 && p.proto == L4Proto::kTcp &&
+      p.payload_bytes > forced_resegment_) {
+    std::uint32_t offset = 0;
+    while (offset < p.payload_bytes) {
+      const std::uint32_t chunk =
+          std::min(forced_resegment_, p.payload_bytes - offset);
+      Packet piece = p;
+      piece.tcp_seq = p.tcp_seq + offset;
+      piece.payload_bytes = chunk;
+      piece.tcp_flags.psh =
+          p.tcp_flags.psh && offset + chunk >= p.payload_bytes;
+      offset += chunk;
+      ip_rx_one(ifindex, std::move(piece));
+    }
+    return;
+  }
+  ip_rx_one(ifindex, std::move(p));
+}
+
+void NetworkStack::ip_rx_one(int ifindex, Packet p) {
+  const std::string& in_name =
+      ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.name;
+
+  sim::Duration cost = costs_->route_lookup;
+  const auto pre = nf_.run_hook(Hook::kPrerouting, p, in_name, "",
+                                engine_->now());
+  cost += pre.cost;
+  if (pre.verdict == Verdict::kDrop) {
+    if (nestv_trace_enabled()) std::fprintf(stderr, "[%s] DROP pre %s\n", name_.c_str(), p.describe().c_str());
+    softirq_run(cost, [this] { ++dropped_; });
+    return;
+  }
+
+  if (is_local_address(p.dst_ip)) {
+    if (nestv_trace_enabled()) std::fprintf(stderr, "[%s] LOCAL %s\n", name_.c_str(), p.describe().c_str());
+    const auto input =
+        nf_.run_hook(Hook::kInput, p, in_name, "", engine_->now());
+    cost += input.cost;
+    if (input.verdict == Verdict::kDrop) {
+      softirq_run(cost, [this] { ++dropped_; });
+      return;
+    }
+    softirq_run(cost, [this, ifindex, pkt = std::move(p)]() mutable {
+      deliver_local(std::move(pkt), ifindex);
+    });
+    return;
+  }
+
+  if (!forwarding_) {
+    if (nestv_trace_enabled()) std::fprintf(stderr, "[%s] DROP nofwd %s\n", name_.c_str(), p.describe().c_str());
+    softirq_run(cost, [this] { ++dropped_; });
+    return;
+  }
+  const auto fwd =
+      nf_.run_hook(Hook::kForward, p, in_name, "", engine_->now());
+  cost += fwd.cost;
+  if (fwd.verdict == Verdict::kDrop) {
+    if (nestv_trace_enabled()) std::fprintf(stderr, "[%s] DROP fwdchain %s\n", name_.c_str(), p.describe().c_str());
+    softirq_run(cost, [this] { ++dropped_; });
+    return;
+  }
+  const auto route = routes_.lookup(p.dst_ip);
+  if (!route || route->ifindex <= 0) {
+    if (nestv_trace_enabled()) std::fprintf(stderr, "[%s] DROP noroute %s\n", name_.c_str(), p.describe().c_str());
+    softirq_run(cost, [this] { ++dropped_; });
+    return;
+  }
+  if (p.ttl <= 1) {
+    softirq_run(cost, [this, pkt = p] {
+      ++dropped_;
+      send_icmp_error(pkt, 11, 0);  // time exceeded in transit
+    });
+    return;
+  }
+  p.ttl -= 1;
+  ++forwarded_;
+  if (forward_jitter_sigma_ > 0.0) {
+    // Mean-1 lognormal (mu = -sigma^2/2) so jitter adds variance without
+    // shifting the calibrated average forwarding cost.
+    const double s = forward_jitter_sigma_;
+    cost = static_cast<sim::Duration>(
+        static_cast<double>(cost) * jitter_rng_.lognormal(-0.5 * s * s, s));
+  }
+  if (nestv_trace_enabled()) std::fprintf(stderr, "[%s t=%llu] fwd-sched out=%d cost=%llu busy_until=%llu %s\n", name_.c_str(), (unsigned long long)engine_->now(), route->ifindex, (unsigned long long)cost, (unsigned long long)(softirq_ ? softirq_->busy_until() : 0), p.describe().c_str());
+  softirq_run(cost,
+              [this, pkt = std::move(p), out = route->ifindex, in_name]() mutable {
+                egress(std::move(pkt), out, in_name);
+              });
+}
+
+// ---- local delivery ----------------------------------------------------------
+
+void NetworkStack::deliver_local(Packet p, int ifindex) {
+  (void)ifindex;
+  ++delivered_;
+  if (p.proto == L4Proto::kUdp) {
+    deliver_udp(p);
+  } else if (p.proto == L4Proto::kTcp) {
+    deliver_tcp(std::move(p));
+  } else if (p.proto == L4Proto::kIcmp) {
+    deliver_icmp(p);
+  } else {
+    ++dropped_;
+  }
+}
+
+void NetworkStack::deliver_icmp(const Packet& p) {
+  if (p.icmp_type == 8) {
+    // Echo request: reply in kernel context (no app wakeup).
+    Packet reply;
+    reply.src_ip = p.dst_ip;
+    reply.dst_ip = p.src_ip;
+    reply.proto = L4Proto::kIcmp;
+    reply.icmp_type = 0;
+    reply.icmp_id = p.icmp_id;
+    reply.icmp_seq = p.icmp_seq;
+    reply.payload_bytes = p.payload_bytes;
+    reply.packet_id = next_packet_id();
+    reply.sent_at = p.sent_at;  // requester's timestamp rides along
+    l4_emit(costs_->l4_segment, std::move(reply));
+    return;
+  }
+  if (p.icmp_type == 0) {
+    // Echo reply: complete the matching ping.
+    const auto it = pings_.find(p.icmp_seq);
+    if (it != pings_.end()) {
+      auto done = std::move(it->second.done);
+      const auto rtt = engine_->now() - it->second.sent_at;
+      pings_.erase(it);
+      if (done) done(rtt);
+    }
+    return;
+  }
+  // Errors (3 = destination unreachable, 11 = time exceeded).
+  if (icmp_error_handler_) icmp_error_handler_(p);
+}
+
+void NetworkStack::send_icmp_error(const Packet& offender, std::uint8_t type,
+                                   std::uint8_t code) {
+  // Never generate errors about ICMP errors (RFC 1122) or unknown sources.
+  if (offender.proto == L4Proto::kIcmp && offender.icmp_type != 8) return;
+  if (offender.src_ip.is_unspecified()) return;
+  ++icmp_errors_tx_;
+  Packet err;
+  // Report from the receiving interface's primary address.
+  err.src_ip = ifaces_.size() > 1 ? ifaces_[1].cfg.ip : ifaces_[0].cfg.ip;
+  err.dst_ip = offender.src_ip;
+  err.proto = L4Proto::kIcmp;
+  err.icmp_type = type;
+  err.icmp_code = code;
+  // The error quotes the offending header: IP + 8 bytes.
+  err.payload_bytes = kIpv4HeaderBytes + 8;
+  err.packet_id = next_packet_id();
+  err.sent_at = engine_->now();
+  l4_emit(costs_->l4_segment, std::move(err));
+}
+
+void NetworkStack::deliver_udp(const Packet& p) {
+  const auto it = udp_binds_.find(p.dst_port);
+  if (it == udp_binds_.end()) {
+    ++dropped_;
+    send_icmp_error(p, 3, 3);  // destination port unreachable
+    return;
+  }
+  UdpBinding& bind = it->second;
+  UdpDelivery d{p.payload_bytes, p.src_ip, p.src_port, p.sent_at, nullptr};
+  if (p.inner) {
+    d.inner = std::make_shared<EthernetFrame>(*p.inner);
+  }
+  if (bind.kernel) {
+    // In-kernel consumer (VXLAN VTEP): no wakeup, no syscall.
+    bind.handler(d);
+    return;
+  }
+  const auto& c = *costs_;
+  const auto app_cost = c.syscall_pkt + c.l4_segment +
+                        static_cast<sim::Duration>(
+                            c.copy_byte * static_cast<double>(p.payload_bytes));
+  // Wakeup latency, then the recvfrom() on the app's CPU.
+  engine_->schedule_in(c.rx_wakeup, [this, &bind, d, app_cost] {
+    if (bind.app != nullptr) {
+      bind.app->submit_as(sim::CpuCategory::kSys, app_cost,
+                          [&bind, d] { bind.handler(d); });
+    } else {
+      bind.handler(d);
+    }
+  });
+}
+
+void NetworkStack::deliver_tcp(Packet p) {
+  if (nestv_trace_enabled())
+    std::fprintf(stderr, "[%s t=%llu] deliver_tcp %s seq=%u ack=%u\n", name_.c_str(),
+                 (unsigned long long)engine_->now(), p.describe().c_str(), p.tcp_seq, p.tcp_ack);
+  const TcpKey key{p.dst_ip, p.dst_port, p.src_ip, p.src_port};
+  const auto it = tcp_conns_.find(key);
+  if (it != tcp_conns_.end()) {
+    TcpConnection* conn = it->second.get();
+    softirq_run(costs_->l4_segment,
+                [conn, pkt = std::move(p)]() mutable {
+                  conn->on_segment(std::move(pkt));
+                });
+    return;
+  }
+  const auto lit = tcp_listeners_.find(p.dst_port);
+  if (lit != tcp_listeners_.end() && p.tcp_flags.syn && !p.tcp_flags.ack) {
+    TcpConnection& conn = create_connection(key, lit->second.app);
+    // Install the app's handlers (accept callback) before the handshake
+    // completes so no delivery is missed.
+    lit->second.on_accept(TcpSocket(&conn));
+    softirq_run(costs_->l4_segment,
+                [&conn, pkt = std::move(p)]() mutable {
+                  conn.open_passive(pkt);
+                });
+    return;
+  }
+  ++dropped_;
+}
+
+// ---- TX path -------------------------------------------------------------------
+
+void NetworkStack::l4_emit(sim::Duration l4_work, Packet p) {
+  softirq_run(l4_work, [this, pkt = std::move(p)]() mutable {
+    emit_packet(std::move(pkt));
+  });
+}
+
+void NetworkStack::emit_packet(Packet p) {
+  p.ct_id = 0;
+  p.ct_reply = false;
+  if (p.packet_id == 0) p.packet_id = next_packet_id();
+
+  sim::Duration cost = costs_->route_lookup;
+  const auto out_hook =
+      nf_.run_hook(Hook::kOutput, p, "", "", engine_->now());
+  cost += out_hook.cost;
+  if (out_hook.verdict == Verdict::kDrop) {
+    softirq_run(cost, [this] { ++dropped_; });
+    return;
+  }
+
+  if (is_local_address(p.dst_ip)) {
+    // Loopback: lo device work, then straight to local delivery (the
+    // SameNode intra-pod path of figs 10-13).
+    const auto& c = *costs_;
+    cost += c.loopback_pkt +
+            static_cast<sim::Duration>(c.loopback_copy_byte *
+                                       static_cast<double>(p.payload_bytes));
+    const auto input = nf_.run_hook(Hook::kInput, p, "lo", "", engine_->now());
+    cost += input.cost;
+    if (input.verdict == Verdict::kDrop) {
+      softirq_run(cost, [this] { ++dropped_; });
+      return;
+    }
+    softirq_run(cost, [this, pkt = std::move(p)]() mutable {
+      deliver_local(std::move(pkt), 0);
+    });
+    return;
+  }
+
+  const auto route = routes_.lookup(p.dst_ip);
+  if (!route || route->ifindex <= 0) {
+    softirq_run(cost, [this] { ++dropped_; });
+    return;
+  }
+  softirq_run(cost, [this, pkt = std::move(p), out = route->ifindex]() mutable {
+    egress(std::move(pkt), out, "");
+  });
+}
+
+void NetworkStack::egress(Packet p, int out_ifindex,
+                          const std::string& in_iface) {
+  if (nestv_trace_enabled()) std::fprintf(stderr, "[%s t=%llu] egress if=%d %s\n", name_.c_str(), (unsigned long long)engine_->now(), out_ifindex, p.describe().c_str());
+  const Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
+  const auto post = nf_.run_hook(Hook::kPostrouting, p, in_iface,
+                                 itf.cfg.name, engine_->now());
+  if (post.verdict == Verdict::kDrop) {
+    if (nestv_trace_enabled()) std::fprintf(stderr, "[%s] DROP post %s\n", name_.c_str(), p.describe().c_str());
+    softirq_run(post.cost, [this] { ++dropped_; });
+    return;
+  }
+  softirq_run(post.cost,
+              [this, pkt = std::move(p), out_ifindex]() mutable {
+                arp_resolve_and_send(std::move(pkt), out_ifindex);
+              });
+}
+
+void NetworkStack::arp_resolve_and_send(Packet p, int out_ifindex) {
+  Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
+  // ip_fragment: UDP datagrams larger than the egress MTU leave as
+  // 8-byte-aligned fragments sharing the datagram's ip_id.
+  const std::uint32_t mtu_payload =
+      itf.cfg.mtu > (kIpv4HeaderBytes + kUdpHeaderBytes)
+          ? itf.cfg.mtu - kIpv4HeaderBytes - kUdpHeaderBytes
+          : 1472;
+  if (p.proto == L4Proto::kUdp && !p.frag_more && p.frag_offset == 0 &&
+      p.payload_bytes > mtu_payload) {
+    const std::uint32_t chunk = mtu_payload & ~7u;  // 8-byte aligned
+    if (p.ip_id == 0) p.ip_id = next_ip_id_++;
+    std::uint32_t offset = 0;
+    const std::uint32_t total = p.payload_bytes;
+    while (offset < total) {
+      Packet piece = p;
+      piece.frag_offset = static_cast<std::uint16_t>(offset);
+      piece.payload_bytes = std::min(chunk, total - offset);
+      piece.frag_more = offset + piece.payload_bytes < total;
+      offset += piece.payload_bytes;
+      arp_resolve_and_send(std::move(piece), out_ifindex);
+    }
+    return;
+  }
+  if (nestv_trace_enabled())
+    std::fprintf(stderr, "[%s t=%llu] arp_resolve %s\n", name_.c_str(),
+                 (unsigned long long)engine_->now(), p.describe().c_str());
+  const auto route = routes_.lookup(p.dst_ip);
+  const Ipv4Address next_hop = route ? route->next_hop : p.dst_ip;
+
+  const auto mac = itf.neighbors.lookup(next_hop, engine_->now());
+  if (!mac) {
+    auto& pending = itf.arp_pending[next_hop];
+    pending.push_back(std::move(p));
+    // One outstanding request per next-hop; later packets just park.
+    if (pending.size() == 1) send_arp_request(out_ifindex, next_hop);
+    return;
+  }
+  EthernetFrame f;
+  f.src = itf.cfg.mac;
+  f.dst = *mac;
+  f.ethertype = 0x0800;
+  f.packet = std::move(p);
+  if (capture_ != nullptr) capture_->record(engine_->now(), f);
+  itf.backend->xmit(std::move(f));
+}
+
+void NetworkStack::send_arp_request(int ifindex, Ipv4Address target) {
+  Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
+  ++arp_tx_;
+  EthernetFrame f;
+  f.src = itf.cfg.mac;
+  f.dst = MacAddress::broadcast();
+  f.ethertype = 0x0806;
+  f.arp_is_request = true;
+  f.arp_sender_ip = itf.cfg.ip;
+  f.arp_sender_mac = itf.cfg.mac;
+  f.arp_target_ip = target;
+  itf.backend->xmit(std::move(f));
+}
+
+void NetworkStack::handle_arp(int ifindex, const EthernetFrame& frame) {
+  Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
+  // Learn the sender either way.
+  itf.neighbors.insert(frame.arp_sender_ip, frame.arp_sender_mac,
+                       engine_->now());
+
+  if (frame.arp_is_request && frame.arp_target_ip == itf.cfg.ip) {
+    EthernetFrame reply;
+    reply.src = itf.cfg.mac;
+    reply.dst = frame.arp_sender_mac;
+    reply.ethertype = 0x0806;
+    reply.arp_is_request = false;
+    reply.arp_sender_ip = itf.cfg.ip;
+    reply.arp_sender_mac = itf.cfg.mac;
+    reply.arp_target_ip = frame.arp_sender_ip;
+    itf.backend->xmit(std::move(reply));
+  }
+
+  // Flush packets parked on this resolution.
+  const auto pending = itf.arp_pending.find(frame.arp_sender_ip);
+  if (pending != itf.arp_pending.end()) {
+    std::vector<Packet> pkts = std::move(pending->second);
+    itf.arp_pending.erase(pending);
+    for (Packet& p : pkts) {
+      arp_resolve_and_send(std::move(p), ifindex);
+    }
+  }
+}
+
+void NetworkStack::loopback_deliver(Packet p) { deliver_local(std::move(p), 0); }
+
+// ---- UDP API --------------------------------------------------------------------
+
+void NetworkStack::udp_bind(std::uint16_t port, sim::SerialResource* app,
+                            UdpHandler handler) {
+  udp_binds_[port] = UdpBinding{app, std::move(handler), false};
+}
+
+void NetworkStack::udp_bind_kernel(std::uint16_t port, UdpHandler handler) {
+  udp_binds_[port] = UdpBinding{nullptr, std::move(handler), true};
+}
+
+void NetworkStack::udp_unbind(std::uint16_t port) { udp_binds_.erase(port); }
+
+void NetworkStack::udp_send(Ipv4Address src_ip, std::uint16_t src_port,
+                            Ipv4Address dst_ip, std::uint16_t dst_port,
+                            std::uint32_t bytes, sim::SerialResource* app,
+                            std::function<void()> on_sent) {
+  const auto& c = *costs_;
+  const auto app_cost =
+      c.syscall_pkt +
+      static_cast<sim::Duration>(c.copy_byte * static_cast<double>(bytes));
+  auto emit = [this, src_ip, src_port, dst_ip, dst_port, bytes,
+               on_sent = std::move(on_sent)] {
+    Packet p;
+    p.src_ip = src_ip;
+    p.dst_ip = dst_ip;
+    p.proto = L4Proto::kUdp;
+    p.src_port = src_port;
+    p.dst_port = dst_port;
+    p.payload_bytes = bytes;
+    p.ip_id = next_ip_id_++;
+    p.packet_id = next_packet_id();
+    p.sent_at = engine_->now();
+    l4_emit(costs_->l4_segment, std::move(p));
+    if (on_sent) on_sent();
+  };
+  if (app != nullptr) {
+    app->submit_as(sim::CpuCategory::kSys, app_cost, std::move(emit));
+  } else {
+    emit();
+  }
+}
+
+// ---- ICMP API -------------------------------------------------------------------
+
+void NetworkStack::ping(Ipv4Address dst, std::uint32_t payload_bytes,
+                        std::function<void(sim::Duration)> done) {
+  const std::uint16_t seq = next_ping_seq_++;
+  pings_[seq] = PendingPing{engine_->now(), std::move(done)};
+  Packet p;
+  // Source selection: first non-loopback interface, as the FIB would pick.
+  p.src_ip = ifaces_.size() > 1 ? ifaces_[1].cfg.ip : ifaces_[0].cfg.ip;
+  p.dst_ip = dst;
+  p.proto = L4Proto::kIcmp;
+  p.icmp_type = 8;
+  p.icmp_id = 1;
+  p.icmp_seq = seq;
+  p.payload_bytes = payload_bytes;
+  p.packet_id = next_packet_id();
+  p.sent_at = engine_->now();
+  l4_emit(costs_->l4_segment, std::move(p));
+}
+
+// ---- TCP API --------------------------------------------------------------------
+
+void NetworkStack::tcp_listen(std::uint16_t port, sim::SerialResource* app,
+                              AcceptHandler on_accept) {
+  tcp_listeners_[port] = TcpListener{app, std::move(on_accept)};
+}
+
+TcpSocket NetworkStack::tcp_connect(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                    std::uint16_t dst_port,
+                                    sim::SerialResource* app) {
+  const std::uint16_t sport = next_ephemeral_port_++;
+  const TcpKey key{src_ip, sport, dst_ip, dst_port};
+  TcpConnection& conn = create_connection(key, app);
+  conn.open_active();
+  return TcpSocket(&conn);
+}
+
+TcpConnection& NetworkStack::create_connection(const TcpKey& key,
+                                               sim::SerialResource* app) {
+  auto conn = std::make_unique<TcpConnection>(
+      *this, key.local_ip, key.local_port, key.remote_ip, key.remote_port,
+      app);
+  TcpConnection& ref = *conn;
+  tcp_conns_[key] = std::move(conn);
+  return ref;
+}
+
+}  // namespace nestv::net

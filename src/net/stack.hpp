@@ -1,0 +1,379 @@
+// NetworkStack: one network namespace's L3/L4 machinery.
+//
+// Owns interfaces (each bound to an InterfaceBackend), a routing table, ARP
+// neighbour caches, a Netfilter instance and the UDP/TCP socket tables.
+// A stack instance stands for: the host kernel's init netns, a guest
+// kernel's init netns, or a pod's network namespace — all of which appear
+// in the paper's fig 1 datapaths.
+//
+// CPU model: protocol work (IP processing, netfilter hooks, TCP/UDP segment
+// handling) runs on the stack's softirq SerialResource, charged as kSoft —
+// matching the paper's attribution of NAT hook work to software interrupts
+// (section 5.2.3).  Socket syscall work (send/recv + user/kernel copies) is
+// charged to the calling application's resource as kSys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "net/backend.hpp"
+#include "net/neighbor.hpp"
+#include "net/netfilter.hpp"
+#include "net/packet.hpp"
+#include "net/route.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+
+namespace nestv::net {
+
+class TcpConnection;
+class NetworkStack;
+
+/// Application-facing handle to one TCP connection.
+class TcpSocket {
+ public:
+  /// Queues `bytes` for transmission.  `app` is charged the syscall and
+  /// user->kernel copy; segmentation happens asynchronously in softirq.
+  /// `on_queued` (optional) fires once the bytes entered the send buffer —
+  /// i.e. when the (blocking) send() syscall would have returned.
+  void send(std::uint32_t bytes, std::function<void()> on_queued = {});
+
+  /// Called with the byte count of each chunk delivered to the app.
+  void set_on_receive(std::function<void(std::uint32_t)> cb);
+  /// Called once the three-way handshake completes (client side).
+  void set_on_connected(std::function<void()> cb);
+  void set_on_closed(std::function<void()> cb);
+  /// Fires whenever the send buffer drains below one window.
+  void set_on_writable(std::function<void()> cb);
+
+  void close();
+
+  [[nodiscard]] bool established() const;
+  [[nodiscard]] std::uint64_t bytes_received() const;
+  [[nodiscard]] std::uint64_t bytes_sent() const;
+  [[nodiscard]] std::uint64_t retransmits() const;
+  [[nodiscard]] std::uint32_t buffered() const;
+  [[nodiscard]] std::uint16_t local_port() const;
+  [[nodiscard]] std::uint16_t remote_port() const;
+  /// Effective congestion window (== flow-control window when congestion
+  /// control is disabled in the cost model).
+  [[nodiscard]] std::uint32_t congestion_window() const;
+  /// Smoothed RTT estimate in ns (0 until the first sample; congestion
+  /// control must be enabled).
+  [[nodiscard]] double srtt_ns() const;
+
+ private:
+  friend class NetworkStack;
+  friend class TcpConnection;
+  explicit TcpSocket(TcpConnection* conn) : conn_(conn) {}
+  TcpConnection* conn_;
+};
+
+struct InterfaceConfig {
+  std::string name;
+  MacAddress mac;
+  Ipv4Address ip;
+  Ipv4Cidr subnet;
+  std::uint32_t mtu = 1500;
+  /// Effective TCP segment size when transmitting out this interface
+  /// (models TSO/GSO; see CostModel's gso_* discussion).
+  std::uint32_t gso_bytes = 1448;
+};
+
+class NetworkStack {
+ public:
+  NetworkStack(sim::Engine& engine, std::string name,
+               const sim::CostModel& costs, sim::SerialResource* softirq);
+  ~NetworkStack();
+
+  NetworkStack(const NetworkStack&) = delete;
+  NetworkStack& operator=(const NetworkStack&) = delete;
+
+  // ---- configuration ----------------------------------------------------
+  /// Attaches an interface; the stack installs itself as the backend's RX
+  /// handler and adds a connected route for the subnet.  Returns ifindex.
+  int add_interface(InterfaceBackend& backend, const InterfaceConfig& cfg);
+
+  /// The loopback interface (always ifindex 0); gso defaults to the cost
+  /// model's gso_loopback.
+  void configure_loopback(std::uint32_t gso_bytes);
+
+  [[nodiscard]] RoutingTable& routes() { return routes_; }
+  [[nodiscard]] Netfilter& netfilter() { return nf_; }
+  [[nodiscard]] const Netfilter& netfilter() const { return nf_; }
+  void set_forwarding(bool on) { forwarding_ = on; }
+
+  /// br_netfilter effect: a stack that bridges+NATs container traffic must
+  /// linearize GSO super-frames so netfilter can inspect them; incoming TCP
+  /// payloads larger than `bytes` are split into `bytes`-sized segments,
+  /// each paying the full per-packet hook/bridge/veth costs.  Zero = off.
+  /// This asymmetry (BrFusion/NoCont keep TSO end-to-end, the nested NAT
+  /// path does not) is the mechanistic root of the paper's fig 2.
+  void set_forced_resegment(std::uint32_t bytes) {
+    forced_resegment_ = bytes;
+  }
+
+  /// Multiplies forwarded-packet softirq cost by a lognormal factor
+  /// (median 1) — service-time noise of a guest kernel that bridges + NATs
+  /// under interrupt pressure.  The paper's fig 10 observes NAT/Overlay
+  /// latencies that "vary greatly and in unexpected manners" while Hostlo
+  /// (which forwards through no guest stack) stays flat.
+  void set_forward_jitter(double sigma, std::uint64_t seed) {
+    forward_jitter_sigma_ = sigma;
+    jitter_rng_ = sim::Rng(seed);
+  }
+
+  /// GRO: in-order TCP segments of one flow arriving in a burst coalesce
+  /// at the receiving netdev *before* protocol processing, so a 12-chunk
+  /// MTU burst costs one hook traversal instead of twelve.  On by default;
+  /// disabled automatically on stacks with forced resegmentation (the
+  /// br_netfilter path re-linearizes anyway).
+  void set_gro(bool on) { gro_enabled_ = on; }
+
+  [[nodiscard]] int ifindex_of(const std::string& name) const;
+  [[nodiscard]] Ipv4Address iface_ip(int ifindex) const;
+  [[nodiscard]] MacAddress iface_mac(int ifindex) const;
+  void set_iface_gso(int ifindex, std::uint32_t gso_bytes);
+
+  /// Pre-seeds an ARP entry (tests & deterministic startup).
+  void seed_neighbor(int ifindex, Ipv4Address ip, MacAddress mac);
+
+  /// Attaches a pcap writer capturing every frame this stack receives or
+  /// transmits on any interface (like `tcpdump -i any` in the namespace).
+  /// The writer must outlive the stack or be detached with nullptr.
+  void attach_capture(class PcapWriter* writer) { capture_ = writer; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const sim::CostModel& costs() const { return *costs_; }
+  [[nodiscard]] sim::SerialResource* softirq() { return softirq_; }
+
+  // ---- UDP ----------------------------------------------------------------
+  struct UdpDelivery {
+    std::uint32_t bytes = 0;
+    Ipv4Address src_ip;
+    std::uint16_t src_port = 0;
+    sim::TimePoint sent_at = 0;  ///< sender's socket-exit timestamp
+    /// Encapsulated inner frame (VXLAN); shared so the delivery is copyable.
+    std::shared_ptr<EthernetFrame> inner;
+  };
+  using UdpHandler = std::function<void(const UdpDelivery&)>;
+
+  /// Binds `port`; deliveries charge `app` (syscall+copy) before `handler`
+  /// runs.  `app` may be null (no charge, immediate dispatch after wakeup).
+  void udp_bind(std::uint16_t port, sim::SerialResource* app,
+                UdpHandler handler);
+  /// Kernel-consumer bind (VXLAN VTEP): the handler runs in softirq with no
+  /// wakeup latency and no syscall charge.
+  void udp_bind_kernel(std::uint16_t port, UdpHandler handler);
+  void udp_unbind(std::uint16_t port);
+
+  /// Sends one datagram.  Charges `app` for the syscall, then hands the
+  /// packet to the stack.  `on_sent` (optional) fires when the packet has
+  /// left the socket (used by closed-loop load generators).
+  void udp_send(Ipv4Address src_ip, std::uint16_t src_port,
+                Ipv4Address dst_ip, std::uint16_t dst_port,
+                std::uint32_t bytes, sim::SerialResource* app,
+                std::function<void()> on_sent = {});
+
+  // ---- ICMP ---------------------------------------------------------------
+  /// Sends an echo request; `done` fires with the round-trip time when the
+  /// reply arrives.  Unanswered pings simply never call back.
+  void ping(Ipv4Address dst, std::uint32_t payload_bytes,
+            std::function<void(sim::Duration rtt)> done);
+
+  /// ICMP errors addressed to this stack (destination unreachable, time
+  /// exceeded) are passed here; the packet carries icmp_type/icmp_code and
+  /// the src_ip of the reporting hop.
+  void set_icmp_error_handler(std::function<void(const Packet&)> handler) {
+    icmp_error_handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::uint64_t icmp_errors_sent() const {
+    return icmp_errors_tx_;
+  }
+
+  // ---- TCP ----------------------------------------------------------------
+  using AcceptHandler = std::function<void(TcpSocket)>;
+
+  /// Listens on `port`; each accepted connection's app work charges `app`.
+  void tcp_listen(std::uint16_t port, sim::SerialResource* app,
+                  AcceptHandler on_accept);
+
+  /// Opens a client connection.  The returned socket is valid for the
+  /// stack's lifetime.
+  TcpSocket tcp_connect(Ipv4Address src_ip, Ipv4Address dst_ip,
+                        std::uint16_t dst_port, sim::SerialResource* app);
+
+  // ---- datapath (called by backends / internals) -------------------------
+  void rx(int ifindex, EthernetFrame frame);
+
+  /// L4 -> network: runs OUTPUT/POSTROUTING, routes and transmits.
+  /// All processing is charged to softirq.
+  void emit_packet(Packet p);
+
+  /// Charges `l4_work` to softirq, then emits `p` (used by TCP/UDP).
+  void l4_emit(sim::Duration l4_work, Packet p);
+
+  /// Effective TCP segment size towards `dst`: loopback GSO for local
+  /// destinations, else the egress interface's GSO size.
+  [[nodiscard]] std::uint32_t egress_gso(Ipv4Address dst) const;
+
+  // ---- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t packets_forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t arp_requests_sent() const { return arp_tx_; }
+  [[nodiscard]] std::uint64_t reassembly_failures() const {
+    return reassembly_failures_;
+  }
+
+  std::uint64_t next_packet_id() { return next_packet_id_++; }
+
+ private:
+  friend class TcpConnection;
+
+  struct Interface {
+    InterfaceConfig cfg;
+    InterfaceBackend* backend = nullptr;  ///< null for loopback
+    NeighborTable neighbors;
+    /// Packets parked awaiting ARP resolution, keyed by next-hop.
+    std::unordered_map<Ipv4Address, std::vector<Packet>> arp_pending;
+  };
+
+  struct UdpBinding {
+    sim::SerialResource* app = nullptr;
+    UdpHandler handler;
+    bool kernel = false;
+  };
+
+  struct TcpKey {
+    Ipv4Address local_ip;
+    std::uint16_t local_port;
+    Ipv4Address remote_ip;
+    std::uint16_t remote_port;
+    friend bool operator<(const TcpKey& a, const TcpKey& b) {
+      return std::tie(a.local_ip, a.local_port, a.remote_ip, a.remote_port) <
+             std::tie(b.local_ip, b.local_port, b.remote_ip, b.remote_port);
+    }
+  };
+
+  struct TcpListener {
+    sim::SerialResource* app = nullptr;
+    AcceptHandler on_accept;
+  };
+
+  /// Runs `work` on softirq (kSoft) then `then`.
+  void softirq_run(sim::Duration work, std::function<void()> then);
+
+  [[nodiscard]] bool is_local_address(Ipv4Address a) const;
+
+  void handle_arp(int ifindex, const EthernetFrame& frame);
+  void gro_rx(int ifindex, Packet p);
+  void gro_flush(const ConnKey& key);
+  void ip_rx(int ifindex, Packet p);
+  void ip_rx_one(int ifindex, Packet p);
+  void deliver_local(Packet p, int ifindex);
+  void forward(Packet p, int in_ifindex);
+  /// Post-routing egress: POSTROUTING hook, ARP resolve, hand to backend.
+  void egress(Packet p, int out_ifindex, const std::string& in_iface);
+  void arp_resolve_and_send(Packet p, int out_ifindex);
+  void send_arp_request(int ifindex, Ipv4Address target);
+  void loopback_deliver(Packet p);
+
+  void deliver_udp(const Packet& p);
+  void deliver_tcp(Packet p);
+  void deliver_icmp(const Packet& p);
+  /// Emits an ICMP error (type/code) about `offender` back to its source.
+  void send_icmp_error(const Packet& offender, std::uint8_t type,
+                       std::uint8_t code);
+
+  TcpConnection& create_connection(const TcpKey& key,
+                                   sim::SerialResource* app);
+
+  sim::Engine* engine_;
+  std::string name_;
+  const sim::CostModel* costs_;
+  sim::SerialResource* softirq_;
+
+  std::vector<Interface> ifaces_;  ///< [0] is loopback
+  RoutingTable routes_;
+  Netfilter nf_;
+  bool forwarding_ = false;
+  std::uint32_t forced_resegment_ = 0;
+  bool gro_enabled_ = true;
+  double forward_jitter_sigma_ = 0.0;
+  sim::Rng jitter_rng_{0};
+
+  struct GroFlow {
+    Packet merged;
+    int ifindex = 0;
+    int count = 0;
+    sim::EventId flush_timer = 0;
+  };
+  std::unordered_map<ConnKey, GroFlow, ConnKeyHash> gro_flows_;
+
+  /// IPv4 reassembly (nf_defrag runs before conntrack, so fragments are
+  /// merged at stack entry, like GRO).
+  struct ReassemblyKey {
+    Ipv4Address src;
+    Ipv4Address dst;
+    std::uint16_t ip_id = 0;
+    friend bool operator==(const ReassemblyKey&,
+                           const ReassemblyKey&) = default;
+  };
+  struct ReassemblyKeyHash {
+    std::size_t operator()(const ReassemblyKey& k) const noexcept {
+      return (static_cast<std::size_t>(k.src.value()) * 31 +
+              k.dst.value()) *
+                 31 +
+             k.ip_id;
+    }
+  };
+  struct ReassemblyState {
+    Packet first;            ///< fragment at offset 0 (carries L4 header)
+    std::uint32_t received = 0;
+    std::uint32_t total = 0;  ///< known once the MF=0 fragment arrives
+    int ifindex = 0;
+    sim::EventId timeout = 0;
+  };
+  std::unordered_map<ReassemblyKey, ReassemblyState, ReassemblyKeyHash>
+      reassembly_;
+  std::uint16_t next_ip_id_ = 1;
+  std::uint64_t reassembly_failures_ = 0;
+
+  void reassemble_rx(int ifindex, Packet p);
+
+  std::map<std::uint16_t, UdpBinding> udp_binds_;
+  std::map<std::uint16_t, TcpListener> tcp_listeners_;
+  std::map<TcpKey, std::unique_ptr<TcpConnection>> tcp_conns_;
+
+  struct PendingPing {
+    sim::TimePoint sent_at = 0;
+    std::function<void(sim::Duration)> done;
+  };
+  std::map<std::uint16_t, PendingPing> pings_;  ///< by icmp_seq
+  std::uint16_t next_ping_seq_ = 1;
+  std::function<void(const Packet&)> icmp_error_handler_;
+  std::uint64_t icmp_errors_tx_ = 0;
+  class PcapWriter* capture_ = nullptr;
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t arp_tx_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint16_t next_ephemeral_port_ = 40000;
+};
+
+}  // namespace nestv::net

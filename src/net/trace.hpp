@@ -1,0 +1,18 @@
+// Environment-gated datapath tracing (set NESTV_TRACE=1 to enable).
+//
+// Every stack logs packet receptions, local deliveries, forward decisions,
+// egress and drops to stderr with the simulated timestamp — the moral
+// equivalent of running tcpdump on every simulated interface at once.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nestv::net {
+
+inline bool nestv_trace_enabled() {
+  static const bool on = std::getenv("NESTV_TRACE") != nullptr;
+  return on;
+}
+
+}  // namespace nestv::net

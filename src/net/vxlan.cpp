@@ -1,0 +1,77 @@
+#include "net/vxlan.hpp"
+
+#include <utility>
+
+namespace nestv::net {
+
+VxlanDevice::VxlanDevice(sim::Engine& engine, std::string name,
+                         const sim::CostModel& costs, NetworkStack& stack,
+                         Ipv4Address local_vtep)
+    : Device(engine, std::move(name), costs),
+      stack_(&stack),
+      local_vtep_(local_vtep) {
+  add_port();  // port 0: overlay bridge side
+  stack_->udp_bind_kernel(
+      kVtepPort, [this](const NetworkStack::UdpDelivery& d) {
+        on_vtep_datagram(d);
+      });
+}
+
+void VxlanDevice::add_remote(MacAddress inner_mac, Ipv4Address vtep) {
+  l2_table_[inner_mac] = vtep;
+}
+
+void VxlanDevice::add_flood_target(Ipv4Address vtep) {
+  flood_.push_back(vtep);
+}
+
+void VxlanDevice::ingress(EthernetFrame frame, int port) {
+  (void)port;
+  const auto it = l2_table_.find(frame.dst);
+  if (it != l2_table_.end()) {
+    encap_to(it->second, frame);
+    return;
+  }
+  for (const Ipv4Address vtep : flood_) encap_to(vtep, frame);
+}
+
+void VxlanDevice::encap_to(Ipv4Address vtep, const EthernetFrame& inner) {
+  const auto& c = costs();
+  const sim::Duration work =
+      c.vxlan_encap_pkt +
+      static_cast<sim::Duration>(c.vxlan_copy_byte *
+                                 static_cast<double>(inner.wire_bytes()));
+  process(work, [this, vtep, inner]() mutable {
+    ++encap_;
+    Packet outer;
+    outer.src_ip = local_vtep_;
+    outer.dst_ip = vtep;
+    outer.proto = L4Proto::kUdp;
+    outer.src_port = kVtepPort;
+    outer.dst_port = kVtepPort;
+    // VXLAN header (8B) counted on top of the inner frame bytes.
+    outer.payload_bytes = static_cast<std::uint32_t>(
+        costs().vxlan_header_bytes) - kEthernetHeaderBytes -
+        kIpv4HeaderBytes - kUdpHeaderBytes;
+    outer.inner = std::make_unique<EthernetFrame>(inner);
+    outer.packet_id = stack_->next_packet_id();
+    outer.sent_at = engine().now();
+    stack_->l4_emit(costs().l4_segment, std::move(outer));
+  });
+}
+
+void VxlanDevice::on_vtep_datagram(const NetworkStack::UdpDelivery& d) {
+  if (!d.inner) return;
+  const auto& c = costs();
+  const sim::Duration work =
+      c.vxlan_decap_pkt +
+      static_cast<sim::Duration>(c.vxlan_copy_byte *
+                                 static_cast<double>(d.inner->wire_bytes()));
+  EthernetFrame inner = *d.inner;
+  process(work, [this, f = std::move(inner)]() mutable {
+    ++decap_;
+    transmit(0, std::move(f));
+  });
+}
+
+}  // namespace nestv::net

@@ -1,0 +1,50 @@
+// VXLAN tunnel endpoint, the substrate of the Docker Overlay baseline
+// (figs 10-15).  Frames entering from the overlay bridge are encapsulated
+// into UDP datagrams addressed to the destination VTEP and sent through the
+// owning guest stack; datagrams arriving on the VTEP port are decapsulated
+// and the inner frame re-enters the overlay bridge.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/device.hpp"
+#include "net/stack.hpp"
+
+namespace nestv::net {
+
+class VxlanDevice : public Device {
+ public:
+  static constexpr std::uint16_t kVtepPort = 4789;
+
+  /// `stack` is the namespace owning the underlay interface (the guest
+  /// kernel); `local_vtep` its underlay IP.  The device binds the VTEP UDP
+  /// port on the stack.  Port 0 attaches to the overlay bridge.
+  VxlanDevice(sim::Engine& engine, std::string name,
+              const sim::CostModel& costs, NetworkStack& stack,
+              Ipv4Address local_vtep);
+
+  /// Static L2-to-VTEP table, as docker's overlay driver programs from its
+  /// gossip/kv store.  Unknown destinations flood to all known VTEPs.
+  void add_remote(MacAddress inner_mac, Ipv4Address vtep);
+  void add_flood_target(Ipv4Address vtep);
+
+  /// Overlay bridge -> tunnel.
+  void ingress(EthernetFrame frame, int port) override;
+
+  [[nodiscard]] std::uint64_t encapsulated() const { return encap_; }
+  [[nodiscard]] std::uint64_t decapsulated() const { return decap_; }
+
+ private:
+  void encap_to(Ipv4Address vtep, const EthernetFrame& inner);
+  void on_vtep_datagram(const NetworkStack::UdpDelivery& d);
+
+  NetworkStack* stack_;
+  Ipv4Address local_vtep_;
+  std::unordered_map<MacAddress, Ipv4Address> l2_table_;
+  std::vector<Ipv4Address> flood_;
+  std::uint64_t encap_ = 0;
+  std::uint64_t decap_ = 0;
+};
+
+}  // namespace nestv::net

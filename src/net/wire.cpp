@@ -1,0 +1,177 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace nestv::net::wire {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::size_t at,
+             std::uint16_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::size_t at,
+             std::uint32_t v) {
+  out[at] = static_cast<std::uint8_t>(v >> 24);
+  out[at + 1] = static_cast<std::uint8_t>(v >> 16);
+  out[at + 2] = static_cast<std::uint8_t>(v >> 8);
+  out[at + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return (std::uint32_t{in[at]} << 24) | (std::uint32_t{in[at + 1]} << 16) |
+         (std::uint32_t{in[at + 2]} << 8) | in[at + 3];
+}
+
+/// Pseudo-header checksum accumulation for TCP/UDP.
+std::uint32_t pseudo_header_sum(const Packet& p, std::uint32_t l4_len) {
+  std::uint32_t sum = 0;
+  sum += p.src_ip.value() >> 16;
+  sum += p.src_ip.value() & 0xffff;
+  sum += p.dst_ip.value() >> 16;
+  sum += p.dst_ip.value() & 0xffff;
+  sum += static_cast<std::uint8_t>(p.proto);
+  sum += l4_len;
+  return sum;
+}
+
+std::uint16_t finish_checksum(std::uint32_t sum) {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint32_t sum_bytes(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  }
+  if (len & 1) sum += static_cast<std::uint32_t>(data[len - 1] << 8);
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  return finish_checksum(sum_bytes(data, len));
+}
+
+std::vector<std::uint8_t> serialize_ipv4(const Packet& p) {
+  std::vector<std::uint8_t> inner_bytes;
+  if (p.inner) inner_bytes = serialize_frame(*p.inner);
+
+  const std::uint32_t l4_hdr = p.l4_header_bytes();
+  const std::uint32_t l4_len =
+      l4_hdr + p.payload_bytes + static_cast<std::uint32_t>(inner_bytes.size());
+  const std::uint32_t total = kIpv4HeaderBytes + l4_len;
+
+  std::vector<std::uint8_t> out(total, 0);
+
+  // IPv4 header.
+  out[0] = 0x45;  // version 4, IHL 5
+  put_u16(out, 2, static_cast<std::uint16_t>(total));
+  put_u16(out, 4, p.ip_id);
+  out[8] = p.ttl;
+  out[9] = static_cast<std::uint8_t>(p.proto);
+  put_u32(out, 12, p.src_ip.value());
+  put_u32(out, 16, p.dst_ip.value());
+  put_u16(out, 10, internet_checksum(out.data(), kIpv4HeaderBytes));
+
+  // L4 header.
+  const std::size_t l4 = kIpv4HeaderBytes;
+  if (p.proto == L4Proto::kUdp) {
+    put_u16(out, l4 + 0, p.src_port);
+    put_u16(out, l4 + 2, p.dst_port);
+    put_u16(out, l4 + 4, static_cast<std::uint16_t>(l4_len));
+  } else if (p.proto == L4Proto::kTcp) {
+    put_u16(out, l4 + 0, p.src_port);
+    put_u16(out, l4 + 2, p.dst_port);
+    put_u32(out, l4 + 4, p.tcp_seq);
+    put_u32(out, l4 + 8, p.tcp_ack);
+    out[l4 + 12] = 0x50;  // data offset 5 words
+    std::uint8_t flags = 0;
+    if (p.tcp_flags.fin) flags |= 0x01;
+    if (p.tcp_flags.syn) flags |= 0x02;
+    if (p.tcp_flags.rst) flags |= 0x04;
+    if (p.tcp_flags.psh) flags |= 0x08;
+    if (p.tcp_flags.ack) flags |= 0x10;
+    out[l4 + 13] = flags;
+    put_u16(out, l4 + 14,
+            static_cast<std::uint16_t>(
+                p.tcp_window > 0xffff ? 0xffff : p.tcp_window));
+  }
+
+  // Encapsulated frame bytes follow the L4 header (VXLAN-style payload).
+  if (!inner_bytes.empty()) {
+    std::memcpy(out.data() + l4 + l4_hdr, inner_bytes.data(),
+                inner_bytes.size());
+  }
+
+  // L4 checksum over pseudo-header + segment.
+  if (p.proto == L4Proto::kUdp || p.proto == L4Proto::kTcp) {
+    const std::size_t csum_at = l4 + (p.proto == L4Proto::kUdp ? 6 : 16);
+    std::uint32_t sum = pseudo_header_sum(p, l4_len);
+    sum += sum_bytes(out.data() + l4, l4_len);
+    put_u16(out, csum_at, finish_checksum(sum));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize_frame(const EthernetFrame& f) {
+  std::vector<std::uint8_t> out(kEthernetHeaderBytes, 0);
+  std::memcpy(out.data(), f.dst.octets().data(), 6);
+  std::memcpy(out.data() + 6, f.src.octets().data(), 6);
+  out[12] = static_cast<std::uint8_t>(f.ethertype >> 8);
+  out[13] = static_cast<std::uint8_t>(f.ethertype & 0xff);
+  if (f.ethertype == 0x0800) {
+    const auto ip = serialize_ipv4(f.packet);
+    out.insert(out.end(), ip.begin(), ip.end());
+  }
+  return out;
+}
+
+std::optional<Packet> parse_ipv4(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kIpv4HeaderBytes) return std::nullopt;
+  if ((bytes[0] >> 4) != 4) return std::nullopt;
+  if (internet_checksum(bytes.data(), kIpv4HeaderBytes) != 0) {
+    return std::nullopt;  // header checksum must verify to zero
+  }
+  Packet p;
+  const std::uint16_t total = get_u16(bytes, 2);
+  if (total > bytes.size()) return std::nullopt;
+  p.ip_id = get_u16(bytes, 4);
+  p.ttl = bytes[8];
+  p.proto = static_cast<L4Proto>(bytes[9]);
+  p.src_ip = Ipv4Address(get_u32(bytes, 12));
+  p.dst_ip = Ipv4Address(get_u32(bytes, 16));
+
+  const std::size_t l4 = kIpv4HeaderBytes;
+  if (p.proto == L4Proto::kUdp) {
+    if (total < l4 + kUdpHeaderBytes) return std::nullopt;
+    p.src_port = get_u16(bytes, l4 + 0);
+    p.dst_port = get_u16(bytes, l4 + 2);
+    p.payload_bytes =
+        static_cast<std::uint32_t>(get_u16(bytes, l4 + 4)) - kUdpHeaderBytes;
+  } else if (p.proto == L4Proto::kTcp) {
+    if (total < l4 + kTcpHeaderBytes) return std::nullopt;
+    p.src_port = get_u16(bytes, l4 + 0);
+    p.dst_port = get_u16(bytes, l4 + 2);
+    p.tcp_seq = get_u32(bytes, l4 + 4);
+    p.tcp_ack = get_u32(bytes, l4 + 8);
+    const std::uint8_t flags = bytes[l4 + 13];
+    p.tcp_flags.fin = flags & 0x01;
+    p.tcp_flags.syn = flags & 0x02;
+    p.tcp_flags.rst = flags & 0x04;
+    p.tcp_flags.psh = flags & 0x08;
+    p.tcp_flags.ack = flags & 0x10;
+    p.tcp_window = get_u16(bytes, l4 + 14);
+    p.payload_bytes = total - l4 - kTcpHeaderBytes;
+  }
+  return p;
+}
+
+}  // namespace nestv::net::wire

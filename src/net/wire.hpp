@@ -1,0 +1,35 @@
+// Wire-format serialization of simulated packets.
+//
+// The datapath itself moves structured Packet values for speed, but tests
+// (and anyone integrating with a real pcap consumer) can render them to
+// RFC-conformant octets with valid IPv4/UDP/TCP checksums, and parse them
+// back.  Payload bytes are rendered as zeros (the simulation carries only
+// lengths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nestv::net::wire {
+
+/// RFC 1071 Internet checksum over a byte range.
+[[nodiscard]] std::uint16_t internet_checksum(const std::uint8_t* data,
+                                              std::size_t len);
+
+/// Serializes the IPv4 datagram (header + L4 header + zeroed payload).
+/// Encapsulated VXLAN inner frames are serialized recursively.
+[[nodiscard]] std::vector<std::uint8_t> serialize_ipv4(const Packet& p);
+
+/// Serializes the full Ethernet frame.
+[[nodiscard]] std::vector<std::uint8_t> serialize_frame(
+    const EthernetFrame& f);
+
+/// Parses an IPv4 datagram produced by serialize_ipv4.  Returns nullopt on
+/// malformed input or checksum mismatch.
+[[nodiscard]] std::optional<Packet> parse_ipv4(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace nestv::net::wire

@@ -1,0 +1,76 @@
+// Workload and placement value types for the fig 9 cost simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orch/pricing.hpp"
+
+namespace nestv::orch {
+
+/// One container's resource request, relative to an m5.24xlarge
+/// (Google-trace normalization).
+struct ContainerDemand {
+  double cpu = 0.0;
+  double mem = 0.0;
+};
+
+/// A pod: the scheduling unit for vanilla Kubernetes (whole-pod
+/// placement); Hostlo relaxes it to per-container placement.
+struct PodSpec {
+  std::uint32_t pod_id = 0;
+  std::vector<ContainerDemand> containers;
+
+  [[nodiscard]] ContainerDemand total() const {
+    ContainerDemand t;
+    for (const auto& c : containers) {
+      t.cpu += c.cpu;
+      t.mem += c.mem;
+    }
+    return t;
+  }
+};
+
+/// Everything one cloud user deploys.
+struct UserWorkload {
+  std::uint32_t user_id = 0;
+  std::vector<PodSpec> pods;
+};
+
+/// A bought VM with its current load.
+struct PlacedVm {
+  const VmModel* model = nullptr;
+  double used_cpu = 0.0;
+  double used_mem = 0.0;
+  /// (pod_id, container index) of everything placed here.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> placed;
+
+  [[nodiscard]] double free_cpu() const { return model->cpu_rel - used_cpu; }
+  [[nodiscard]] double free_mem() const { return model->mem_rel - used_mem; }
+  [[nodiscard]] bool fits(double cpu, double mem) const {
+    // A hair of tolerance keeps exact-fill placements from failing on
+    // floating-point dust.
+    constexpr double kEps = 1e-9;
+    return free_cpu() + kEps >= cpu && free_mem() + kEps >= mem;
+  }
+  void add(double cpu, double mem, std::uint32_t pod,
+           std::uint32_t container) {
+    used_cpu += cpu;
+    used_mem += mem;
+    placed.emplace_back(pod, container);
+  }
+};
+
+/// A full per-user placement, costable.
+struct Placement {
+  std::vector<PlacedVm> vms;
+
+  [[nodiscard]] double cost_per_hour() const {
+    double c = 0.0;
+    for (const auto& vm : vms) c += vm.model->price_per_hour;
+    return c;
+  }
+};
+
+}  // namespace nestv::orch

@@ -1,0 +1,31 @@
+#include "orch/pricing.hpp"
+
+namespace nestv::orch {
+
+AwsM5Catalog::AwsM5Catalog() {
+  // Table 2: AWS EC2 VM m5 models used to simulate Hostlo money savings.
+  models_ = {
+      {"m5.large", 2, 8, 0.0208, 0.0208, 0.112},
+      {"m5.xlarge", 4, 16, 0.0417, 0.0417, 0.224},
+      {"m5.2xlarge", 8, 32, 0.0833, 0.0833, 0.448},
+      {"m5.4xlarge", 16, 64, 0.1667, 0.1667, 0.896},
+      {"m5.12xlarge", 48, 192, 0.5, 0.5, 2.689},
+      {"m5.24xlarge", 96, 384, 1.0, 1.0, 5.376},
+  };
+}
+
+const VmModel* AwsM5Catalog::cheapest_fitting(double cpu, double mem) const {
+  for (const VmModel& m : models_) {  // already sorted by price
+    if (m.cpu_rel >= cpu && m.mem_rel >= mem) return &m;
+  }
+  return nullptr;
+}
+
+const VmModel* AwsM5Catalog::by_name(const std::string& name) const {
+  for (const VmModel& m : models_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace nestv::orch

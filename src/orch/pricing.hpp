@@ -1,0 +1,42 @@
+// AWS EC2 m5 on-demand catalog — the paper's table 2, verbatim.
+//
+// Resource specifications are relative to the largest model (24xlarge), the
+// same normalization Google cluster traces use for machine capacity.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nestv::orch {
+
+struct VmModel {
+  std::string name;
+  int vcpus = 0;
+  int memory_gb = 0;
+  double cpu_rel = 0.0;  ///< relative to m5.24xlarge
+  double mem_rel = 0.0;
+  double price_per_hour = 0.0;  ///< USD
+};
+
+class AwsM5Catalog {
+ public:
+  AwsM5Catalog();
+
+  /// Models ordered by ascending price.
+  [[nodiscard]] const std::vector<VmModel>& models() const {
+    return models_;
+  }
+
+  /// Cheapest model with cpu_rel >= cpu and mem_rel >= mem, if any.
+  [[nodiscard]] const VmModel* cheapest_fitting(double cpu,
+                                                double mem) const;
+
+  [[nodiscard]] const VmModel* by_name(const std::string& name) const;
+  [[nodiscard]] const VmModel& largest() const { return models_.back(); }
+
+ private:
+  std::vector<VmModel> models_;
+};
+
+}  // namespace nestv::orch

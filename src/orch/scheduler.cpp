@@ -1,0 +1,248 @@
+#include "orch/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nestv::orch {
+namespace {
+
+/// Kubernetes "most requested" score: among VMs that fit, prefer the one
+/// with the most requested (least free) resources — grouping.
+double requested_score(const PlacedVm& vm) {
+  const double cpu_frac = vm.used_cpu / vm.model->cpu_rel;
+  const double mem_frac = vm.used_mem / vm.model->mem_rel;
+  return cpu_frac + mem_frac;
+}
+
+/// Waste score: free capacity, normalized; used to pick move targets.
+double waste_score(const PlacedVm& vm) {
+  return vm.free_cpu() + vm.free_mem();
+}
+
+}  // namespace
+
+const char* to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kMostRequested: return "most-requested";
+    case PlacementPolicy::kLeastRequested: return "least-requested";
+    case PlacementPolicy::kFirstFit: return "first-fit";
+  }
+  return "?";
+}
+
+Placement KubernetesScheduler::schedule(const UserWorkload& user) const {
+  Placement placement;
+
+  // Biggest pods first (by total cpu+mem demand).
+  std::vector<const PodSpec*> pods;
+  pods.reserve(user.pods.size());
+  for (const auto& p : user.pods) pods.push_back(&p);
+  std::sort(pods.begin(), pods.end(), [](const PodSpec* a, const PodSpec* b) {
+    const auto ta = a->total();
+    const auto tb = b->total();
+    const double sa = ta.cpu + ta.mem;
+    const double sb = tb.cpu + tb.mem;
+    if (sa != sb) return sa > sb;
+    return a->pod_id < b->pod_id;  // deterministic tie-break
+  });
+
+  for (const PodSpec* pod : pods) {
+    const auto demand = pod->total();
+
+    // (a) Best already-bought VM that fits, under the configured policy.
+    PlacedVm* best = nullptr;
+    for (auto& vm : placement.vms) {
+      if (!vm.fits(demand.cpu, demand.mem)) continue;
+      switch (policy_) {
+        case PlacementPolicy::kMostRequested:
+          if (best == nullptr ||
+              requested_score(vm) > requested_score(*best)) {
+            best = &vm;
+          }
+          break;
+        case PlacementPolicy::kLeastRequested:
+          if (best == nullptr ||
+              requested_score(vm) < requested_score(*best)) {
+            best = &vm;
+          }
+          break;
+        case PlacementPolicy::kFirstFit:
+          if (best == nullptr) best = &vm;
+          break;
+      }
+    }
+    if (best == nullptr) {
+      // (b) Buy the cheapest model hosting the whole pod.
+      const VmModel* model =
+          catalog_->cheapest_fitting(demand.cpu, demand.mem);
+      if (model == nullptr) {
+        // Pod larger than the largest VM: vanilla Kubernetes simply cannot
+        // place it; the paper's traces do not contain such pods, but be
+        // safe and put it on a dedicated largest model (oversubscribed).
+        model = &catalog_->largest();
+      }
+      placement.vms.push_back(PlacedVm{model, 0.0, 0.0, {}});
+      best = &placement.vms.back();
+    }
+    for (std::uint32_t c = 0; c < pod->containers.size(); ++c) {
+      const auto& d = pod->containers[c];
+      best->add(d.cpu, d.mem, pod->pod_id, c);
+    }
+  }
+  return placement;
+}
+
+Placement HostloRescheduler::improve(const UserWorkload& user,
+                                     const Placement& base) const {
+  Placement improved = base;
+
+  // Demand lookup: (pod, container) -> demand.
+  const auto demand_of = [&user](std::uint32_t pod_id, std::uint32_t c) {
+    for (const auto& p : user.pods) {
+      if (p.pod_id == pod_id) return p.containers[c];
+    }
+    assert(false && "unknown pod in placement");
+    return ContainerDemand{};
+  };
+
+  // Pass 1 — eliminate VMs: try to relocate every container of the least
+  // utilized VM into the others' waste, smallest containers first, targets
+  // with the most waste first.  Repeat until no VM can be emptied.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+
+    // Candidate source: least utilized VM (most relative waste).
+    std::vector<std::size_t> order(improved.vms.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return requested_score(improved.vms[a]) <
+             requested_score(improved.vms[b]);
+    });
+
+    for (const std::size_t src_idx : order) {
+      if (improved.vms.size() <= 1) break;
+      // Work on a copy of the target set so a failed attempt is free.
+      Placement trial = improved;
+      PlacedVm& src = trial.vms[src_idx];
+
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> items =
+          src.placed;
+      std::sort(items.begin(), items.end(), [&](const auto& a,
+                                                const auto& b) {
+        const auto da = demand_of(a.first, a.second);
+        const auto db = demand_of(b.first, b.second);
+        const double sa = da.cpu + da.mem;
+        const double sb = db.cpu + db.mem;
+        if (sa != sb) return sa < sb;  // smallest containers first
+        return a < b;
+      });
+
+      bool all_moved = true;
+      for (const auto& [pod_id, c] : items) {
+        const auto d = demand_of(pod_id, c);
+        // Target: the other VM with the most waste that fits.
+        PlacedVm* target = nullptr;
+        for (std::size_t t = 0; t < trial.vms.size(); ++t) {
+          if (t == src_idx) continue;
+          PlacedVm& vm = trial.vms[t];
+          if (!vm.fits(d.cpu, d.mem)) continue;
+          if (target == nullptr || waste_score(vm) > waste_score(*target)) {
+            target = &vm;
+          }
+        }
+        if (target == nullptr) {
+          all_moved = false;
+          break;
+        }
+        target->add(d.cpu, d.mem, pod_id, c);
+      }
+      if (!all_moved) continue;
+
+      trial.vms.erase(trial.vms.begin() +
+                      static_cast<std::ptrdiff_t>(src_idx));
+      improved = std::move(trial);
+      progressed = true;
+      break;  // re-derive the utilization order after each elimination
+    }
+  }
+
+  // Pass 2 — shrink: each VM drops to the cheapest model that still holds
+  // its load.
+  for (auto& vm : improved.vms) {
+    const VmModel* smaller =
+        catalog_->cheapest_fitting(vm.used_cpu, vm.used_mem);
+    if (smaller != nullptr &&
+        smaller->price_per_hour < vm.model->price_per_hour) {
+      vm.model = smaller;
+    }
+  }
+
+  // Pass 3 — split: with whole-pod placement gone, one VM's containers may
+  // repack into several *smaller* models for less money (the paper's
+  // motivating example: a 6 vCPU / 24 GiB pod on an m5.2xlarge for $0.448/h
+  // vs an m5.large + m5.xlarge for $0.336/h).  First-fit-decreasing per VM;
+  // accepted only when strictly cheaper.
+  for (std::size_t i = 0; i < improved.vms.size(); ++i) {
+    PlacedVm& vm = improved.vms[i];
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> items = vm.placed;
+    std::sort(items.begin(), items.end(), [&](const auto& a, const auto& b) {
+      const auto da = demand_of(a.first, a.second);
+      const auto db = demand_of(b.first, b.second);
+      const double sa = da.cpu + da.mem;
+      const double sb = db.cpu + db.mem;
+      if (sa != sb) return sa > sb;  // biggest first (FFD)
+      return a < b;
+    });
+
+    std::vector<PlacedVm> bins;
+    bool ok = true;
+    for (const auto& [pod_id, c] : items) {
+      const auto d = demand_of(pod_id, c);
+      PlacedVm* target = nullptr;
+      for (auto& bin : bins) {
+        if (!bin.fits(d.cpu, d.mem)) continue;
+        if (target == nullptr ||
+            requested_score(bin) > requested_score(*target)) {
+          target = &bin;  // tightest bin first
+        }
+      }
+      if (target == nullptr) {
+        const VmModel* model = catalog_->cheapest_fitting(d.cpu, d.mem);
+        if (model == nullptr) {
+          ok = false;
+          break;
+        }
+        bins.push_back(PlacedVm{model, 0.0, 0.0, {}});
+        target = &bins.back();
+      }
+      target->add(d.cpu, d.mem, pod_id, c);
+    }
+    if (!ok) continue;
+
+    // Shrink each bin, then compare.
+    double bins_cost = 0.0;
+    for (auto& bin : bins) {
+      const VmModel* smaller =
+          catalog_->cheapest_fitting(bin.used_cpu, bin.used_mem);
+      if (smaller != nullptr &&
+          smaller->price_per_hour < bin.model->price_per_hour) {
+        bin.model = smaller;
+      }
+      bins_cost += bin.model->price_per_hour;
+    }
+    if (bins_cost < vm.model->price_per_hour) {
+      improved.vms.erase(improved.vms.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      improved.vms.insert(improved.vms.end(), bins.begin(), bins.end());
+      --i;  // the element now at position i is unprocessed
+    }
+  }
+
+  // Never worse than the baseline.
+  if (improved.cost_per_hour() > base.cost_per_hour()) return base;
+  return improved;
+}
+
+}  // namespace nestv::orch

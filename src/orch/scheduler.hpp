@@ -1,0 +1,78 @@
+// The fig 9 schedulers (section 5.3.1).
+//
+// Baseline — vanilla Kubernetes, whole-pod placement:
+//   1. per user, start with no VMs;
+//   2. pods scheduled offline, biggest first;
+//   3. (a) try the already-bought VM that best fits under Kubernetes's
+//      "most requested" policy (among VMs with room, pick the one with the
+//      most requested resources — a grouping strategy), otherwise
+//      (b) buy the cheapest VM model that can host the whole pod.
+//
+// Hostlo — improvement pass enabled by cross-VM pods: move containers to
+// the VMs with the most wasted resources, smallest containers first, to
+// empty VMs entirely or shrink them to cheaper models.
+#pragma once
+
+#include "orch/cluster.hpp"
+#include "orch/pricing.hpp"
+
+namespace nestv::orch {
+
+/// Node-selection policy for step 3(a).  The paper simulates Kubernetes's
+/// "most requested" (grouping); the alternatives quantify that choice
+/// (bench/abl_sched_policy).
+enum class PlacementPolicy {
+  kMostRequested,   ///< pick the fullest VM that fits (grouping)
+  kLeastRequested,  ///< pick the emptiest VM that fits (spreading)
+  kFirstFit,        ///< pick the first bought VM that fits
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy p);
+
+class KubernetesScheduler {
+ public:
+  explicit KubernetesScheduler(
+      const AwsM5Catalog& catalog,
+      PlacementPolicy policy = PlacementPolicy::kMostRequested)
+      : catalog_(&catalog), policy_(policy) {}
+
+  /// Whole-pod, biggest-first offline placement for one user.
+  [[nodiscard]] Placement schedule(const UserWorkload& user) const;
+
+  [[nodiscard]] PlacementPolicy policy() const { return policy_; }
+
+ private:
+  const AwsM5Catalog* catalog_;
+  PlacementPolicy policy_;
+};
+
+class HostloRescheduler {
+ public:
+  explicit HostloRescheduler(const AwsM5Catalog& catalog)
+      : catalog_(&catalog) {}
+
+  /// Improves a Kubernetes placement using cross-VM pod deployment:
+  /// containers (not pods) become the movable unit.  Returns the improved
+  /// placement; never returns one costing more than the input.
+  [[nodiscard]] Placement improve(const UserWorkload& user,
+                                  const Placement& base) const;
+
+ private:
+  const AwsM5Catalog* catalog_;
+};
+
+/// Per-user comparison record for the fig 9 histogram.
+struct SavingsRecord {
+  std::uint32_t user_id = 0;
+  double k8s_cost = 0.0;
+  double hostlo_cost = 0.0;
+
+  [[nodiscard]] double absolute_saving() const {
+    return k8s_cost - hostlo_cost;
+  }
+  [[nodiscard]] double relative_saving() const {
+    return k8s_cost > 0.0 ? absolute_saving() / k8s_cost : 0.0;
+  }
+};
+
+}  // namespace nestv::orch

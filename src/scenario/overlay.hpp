@@ -1,0 +1,62 @@
+// Docker-Overlay-style network: per-VM overlay bridge + VXLAN VTEP, the
+// only production alternative for cross-node pod traffic the paper
+// compares Hostlo against ("Overlay: Docker's network overlay solution,
+// which is the only currently viable approach for cross-node pod
+// deployment", section 5.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "container/pod.hpp"
+#include "net/bridge.hpp"
+#include "net/veth.hpp"
+#include "net/vxlan.hpp"
+#include "scenario/testbed.hpp"
+
+namespace nestv::scenario {
+
+class OverlayNetwork {
+ public:
+  OverlayNetwork(Testbed& bed,
+                 net::Ipv4Cidr subnet = net::Ipv4Cidr(
+                     net::Ipv4Address(10, 99, 0, 0), 24));
+
+  struct Attachment {
+    int ifindex = -1;
+    net::Ipv4Address ip;
+    net::MacAddress mac;
+  };
+
+  /// Joins `fragment` to the overlay: lazily creates the hosting VM's
+  /// overlay bridge + VXLAN device, then attaches the fragment via veth.
+  Attachment attach(container::Pod::Fragment& fragment);
+
+  /// Programs the static L2->VTEP tables (docker's gossip/kv store role).
+  /// Call after all fragments are attached.
+  void finalize();
+
+ private:
+  struct VmState {
+    vmm::Vm* vm = nullptr;
+    std::unique_ptr<net::Bridge> bridge;
+    std::unique_ptr<net::VxlanDevice> vxlan;
+    std::vector<std::unique_ptr<net::VethPair>> veths;
+    net::Ipv4Address vtep_ip;
+  };
+  struct Member {
+    VmState* state;
+    net::MacAddress mac;
+  };
+
+  VmState& state_for(vmm::Vm& vm);
+
+  Testbed* bed_;
+  net::Ipv4Cidr subnet_;
+  std::map<vmm::Vm*, std::unique_ptr<VmState>> states_;
+  std::vector<Member> members_;
+  std::uint32_t next_ip_ = 2;
+};
+
+}  // namespace nestv::scenario

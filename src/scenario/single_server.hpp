@@ -1,0 +1,40 @@
+// Single-server scenarios: the BrFusion evaluation topology (section 5.2).
+//
+// "For each solution, we place the benchmark server in a VM, and the client
+// runs on different CPUs of the physical host."  Modes:
+//   kNoCont   - no containerization: the server runs natively in the VM
+//               (the baseline and performance target).
+//   kNat      - vanilla nested: server in a container behind the guest
+//               docker0 bridge + NAT, port published via DNAT.
+//   kBrFusion - server in a container whose pod owns a hot-plugged NIC on
+//               the host bridge (section 3).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "scenario/testbed.hpp"
+
+namespace nestv::scenario {
+
+enum class ServerMode { kNoCont, kNat, kBrFusion };
+
+[[nodiscard]] const char* to_string(ServerMode m);
+
+struct SingleServer {
+  std::unique_ptr<Testbed> bed;
+  Endpoint client;
+  Endpoint server;
+  vmm::Vm* vm = nullptr;
+  container::Pod* pod = nullptr;              ///< null for kNoCont
+  container::Container* srv_container = nullptr;  ///< null for kNoCont
+  sim::Duration boot_duration = 0;            ///< fig 8's metric (0 = NoCont)
+};
+
+/// Builds the scenario and advances the clock until the deployment is
+/// ready (container booted, networking attached).
+[[nodiscard]] SingleServer make_single_server(ServerMode mode,
+                                              std::uint16_t service_port,
+                                              TestbedConfig config = {});
+
+}  // namespace nestv::scenario

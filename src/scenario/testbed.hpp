@@ -1,0 +1,87 @@
+// Testbed: one simulated instance of the paper's experimental node
+// (section 5.1) with its VMM, orchestrator channel and CNI plugins.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "container/runtime.hpp"
+#include "core/cni.hpp"
+#include "core/protocol.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "vmm/vmm.hpp"
+
+namespace nestv::scenario {
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+  sim::CostModel costs = sim::CostModel{};
+  bool use_vhost = true;  ///< false only in the abl_vhost ablation
+};
+
+/// A process endpoint a workload can drive: which stack it lives in, the
+/// address peers use to reach it, the address it binds, and its CPU.
+struct Endpoint {
+  net::NetworkStack* stack = nullptr;
+  net::Ipv4Address service_ip;  ///< address a peer dials (post-NAT view)
+  net::Ipv4Address local_ip;    ///< address the process binds
+  sim::SerialResource* app = nullptr;
+  vmm::Vm* vm = nullptr;  ///< null for host processes
+  /// Factory for additional process threads (multi-threaded clients and
+  /// servers get one SerialResource per thread in the right CPU domain).
+  std::function<sim::SerialResource&(const std::string&)> make_core;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const sim::CostModel& costs() const { return costs_; }
+  [[nodiscard]] vmm::PhysicalMachine& machine() { return *machine_; }
+  [[nodiscard]] vmm::Vmm& vmm() { return *vmm_; }
+  [[nodiscard]] core::OrchVmmChannel& channel() { return *channel_; }
+  [[nodiscard]] core::BridgeNatCni& nat_cni() { return *nat_cni_; }
+  [[nodiscard]] core::BrFusionCni& brfusion_cni() { return *brfusion_cni_; }
+  [[nodiscard]] core::HostloCni& hostlo_cni() { return *hostlo_cni_; }
+
+  /// Creates a VM with its uplink NIC ("eth0": virtio + vhost + host tap on
+  /// the host bridge) configured on the host bridge subnet.
+  vmm::Vm& create_vm_with_uplink(const std::string& name);
+
+  container::Pod& create_pod(const std::string& name);
+  container::Runtime& runtime_for(vmm::Vm& vm);
+
+  /// Host-side client process (the paper runs benchmark clients "on
+  /// different CPUs of the physical host", linked to the host bridge).
+  Endpoint host_client(const std::string& process_name);
+
+  /// Advances the simulated clock by `d`.
+  void run_for(sim::Duration d) { engine_.run_until(engine_.now() + d); }
+
+  /// Runs until `pred()` holds, polling every `step`; asserts progress
+  /// within `limit`.  Used to wait for async deployments.
+  void run_until_ready(const std::function<bool()>& pred,
+                       sim::Duration step = sim::milliseconds(50),
+                       sim::Duration limit = sim::seconds(60));
+
+ private:
+  sim::CostModel costs_;
+  sim::Engine engine_;
+  std::unique_ptr<vmm::PhysicalMachine> machine_;
+  std::unique_ptr<vmm::Vmm> vmm_;
+  std::unique_ptr<core::OrchVmmChannel> channel_;
+  std::unique_ptr<core::BridgeNatCni> nat_cni_;
+  std::unique_ptr<core::BrFusionCni> brfusion_cni_;
+  std::unique_ptr<core::HostloCni> hostlo_cni_;
+  std::vector<std::unique_ptr<container::Pod>> pods_;
+  std::map<vmm::Vm*, std::unique_ptr<container::Runtime>> runtimes_;
+  bool use_vhost_;
+};
+
+}  // namespace nestv::scenario

@@ -1,0 +1,10 @@
+#include "sim/cost_model.hpp"
+
+namespace nestv::sim {
+
+const CostModel& CostModel::defaults() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace nestv::sim

@@ -1,0 +1,77 @@
+#include "sim/cpu.hpp"
+
+#include <cstdio>
+
+namespace nestv::sim {
+
+const char* to_string(CpuCategory c) {
+  switch (c) {
+    case CpuCategory::kUsr: return "usr";
+    case CpuCategory::kSys: return "sys";
+    case CpuCategory::kSoft: return "soft";
+    case CpuCategory::kGuest: return "guest";
+    case CpuCategory::kCount: break;
+  }
+  return "?";
+}
+
+Duration CpuAccount::total() const {
+  Duration t = 0;
+  for (auto ns : ns_) t += ns;
+  return t;
+}
+
+double CpuAccount::cores(CpuCategory c, Duration wall) const {
+  if (wall == 0) return 0.0;
+  return static_cast<double>(get(c)) / static_cast<double>(wall);
+}
+
+double CpuAccount::total_cores(Duration wall) const {
+  if (wall == 0) return 0.0;
+  return static_cast<double>(total()) / static_cast<double>(wall);
+}
+
+CpuAccount& CpuLedger::account(const std::string& name) {
+  auto it = accounts_.find(name);
+  if (it == accounts_.end()) {
+    it = accounts_.emplace(name, std::make_unique<CpuAccount>(name)).first;
+  }
+  return *it->second;
+}
+
+const CpuAccount* CpuLedger::find(const std::string& name) const {
+  const auto it = accounts_.find(name);
+  return it == accounts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const CpuAccount*> CpuLedger::accounts() const {
+  std::vector<const CpuAccount*> out;
+  out.reserve(accounts_.size());
+  for (const auto& [_, acc] : accounts_) out.push_back(acc.get());
+  return out;
+}
+
+void CpuLedger::reset_all() {
+  for (auto& [_, acc] : accounts_) acc->reset();
+}
+
+std::string CpuLedger::render(Duration wall) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-32s %8s %8s %8s %8s %8s\n", "account",
+                "usr", "sys", "soft", "guest", "total");
+  out += line;
+  for (const auto& [name, acc] : accounts_) {
+    std::snprintf(line, sizeof line,
+                  "%-32s %8.3f %8.3f %8.3f %8.3f %8.3f\n", name.c_str(),
+                  acc->cores(CpuCategory::kUsr, wall),
+                  acc->cores(CpuCategory::kSys, wall),
+                  acc->cores(CpuCategory::kSoft, wall),
+                  acc->cores(CpuCategory::kGuest, wall),
+                  acc->total_cores(wall));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nestv::sim

@@ -1,0 +1,77 @@
+// CPU-time accounting in the categories the paper reports.
+//
+// Figures 6, 7, 14 and 15 break CPU usage down into: software work ("usr"),
+// kernel work excluding interrupts ("sys"), kernel serving software
+// interrupts ("soft"), and host CPU time given to a guest VM ("guest").
+// Every cost charged by the simulated datapath lands in exactly one
+// (account, category) cell of a CpuLedger.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nestv::sim {
+
+enum class CpuCategory : std::uint8_t {
+  kUsr = 0,    ///< userspace software work
+  kSys,        ///< kernel work, excluding interrupt handling
+  kSoft,       ///< kernel servicing software interrupts (NAT hooks live here)
+  kGuest,      ///< host CPU time executing guest vCPUs
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(CpuCategory c);
+
+/// Accumulated CPU nanoseconds for one accountable entity (a VM, an
+/// application, the host kernel, a vhost worker...).
+class CpuAccount {
+ public:
+  explicit CpuAccount(std::string name) : name_(std::move(name)) {}
+
+  void charge(CpuCategory c, Duration ns) {
+    ns_[static_cast<std::size_t>(c)] += ns;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Duration total() const;
+  [[nodiscard]] Duration get(CpuCategory c) const {
+    return ns_[static_cast<std::size_t>(c)];
+  }
+
+  /// Average cores consumed over a wall interval, the unit of figs 6/7/14/15.
+  [[nodiscard]] double cores(CpuCategory c, Duration wall) const;
+  [[nodiscard]] double total_cores(Duration wall) const;
+
+  void reset() { ns_.fill(0); }
+
+ private:
+  std::string name_;
+  std::array<Duration, static_cast<std::size_t>(CpuCategory::kCount)> ns_{};
+};
+
+/// Registry of accounts, keyed by name.  std::map keeps report ordering
+/// deterministic.  Accounts are stable-addressed (held by unique_ptr) so
+/// devices can cache CpuAccount* safely across insertions.
+class CpuLedger {
+ public:
+  CpuAccount& account(const std::string& name);
+  [[nodiscard]] const CpuAccount* find(const std::string& name) const;
+
+  [[nodiscard]] std::vector<const CpuAccount*> accounts() const;
+
+  void reset_all();
+
+  /// Renders a usr/sys/soft/guest breakdown table (cores over `wall`).
+  [[nodiscard]] std::string render(Duration wall) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<CpuAccount>> accounts_;
+};
+
+}  // namespace nestv::sim

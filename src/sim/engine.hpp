@@ -1,0 +1,55 @@
+// The discrete-event simulation engine: clock plus event loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::sim {
+
+/// Owns the simulated clock and the event queue.  Every entity in the
+/// simulated datacenter (devices, stacks, workloads) holds a reference to
+/// one Engine and schedules its work through it.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `action` to run `delay` nanoseconds from now.
+  EventId schedule_in(Duration delay, std::function<void()> action) {
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Schedules `action` at an absolute simulated instant.  Instants in the
+  /// past are clamped to "now" (the event still fires, deterministically
+  /// after already-queued events for the current instant).
+  EventId schedule_at(TimePoint when, std::function<void()> action) {
+    return queue_.schedule(when < now_ ? now_ : when, std::move(action));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains.  Returns the number of events run.
+  std::uint64_t run();
+
+  /// Runs events with time <= deadline; leaves later events queued.
+  /// The clock is advanced to `deadline` even if the queue drains early.
+  std::uint64_t run_until(TimePoint deadline);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace nestv::sim

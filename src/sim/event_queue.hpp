@@ -1,0 +1,61 @@
+// Priority queue of timed events with deterministic tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nestv::sim {
+
+/// Opaque handle that allows cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Min-heap of (time, sequence) ordered events.  Two events scheduled for
+/// the same instant fire in scheduling order, which keeps every simulation
+/// run bit-for-bit reproducible (DESIGN.md section 6).
+class EventQueue {
+ public:
+  EventId schedule(TimePoint when, std::function<void()> action);
+
+  /// Marks an event as cancelled; it is dropped (and freed) when it reaches
+  /// the top of the heap.  Cancelling an already-fired or unknown id is a
+  /// safe no-op (timers routinely race their own cancellation).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] TimePoint next_time();
+
+  /// Removes and runs the earliest live event.  Returns its time.
+  /// Precondition: !empty().
+  TimePoint pop_and_run();
+
+ private:
+  struct Entry {
+    TimePoint when = 0;
+    EventId id = 0;
+    std::function<void()> action;
+  };
+
+  // Returns true when a sorts strictly after b (min-heap comparator).
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.id > b.id;
+  }
+
+  void drop_cancelled_prefix();
+  Entry pop_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    ///< ids currently in the heap
+  std::unordered_set<EventId> cancelled_;  ///< pending ids to skip on pop
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace nestv::sim

@@ -1,0 +1,78 @@
+// Serialized execution resources (CPU cores, worker threads).
+//
+// A SerialResource executes submitted work items one at a time in FIFO
+// order.  When offered load exceeds its capacity, completions back up and
+// throughput saturates — this is exactly the mechanism behind the paper's
+// fig 4 observation that the NAT datapath "scales more slowly and even
+// stagnates between 1024B and 1280B": the guest softirq core serving
+// netfilter hooks runs out of cycles, while the BrFusion/NoCont bottleneck
+// (the vhost worker) still has headroom.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::sim {
+
+/// A single-threaded executor (one CPU core or one kernel worker thread).
+/// Work is modeled by duration only; the completion callback fires when the
+/// work finishes.  CPU time is charged to the bound accounts as it runs.
+class SerialResource {
+ public:
+  SerialResource(Engine& engine, std::string name)
+      : engine_(&engine), name_(std::move(name)) {}
+
+  SerialResource(const SerialResource&) = delete;
+  SerialResource& operator=(const SerialResource&) = delete;
+
+  /// Charges `account` with `category` for each unit of work executed here.
+  /// Several sinks may be bound: e.g. a vCPU charges both the guest-side
+  /// account (usr/sys/soft) and the host's "guest" time (fig 14's host view).
+  void bind(CpuAccount& account, CpuCategory category) {
+    sinks_.push_back(Sink{&account, category});
+  }
+
+  /// Enqueues `work` nanoseconds of execution; runs `done` at completion.
+  /// Work submitted while busy queues behind in-flight work (FIFO).
+  void submit(Duration work, std::function<void()> done);
+
+  /// Same, but the charge category is overridden for this item only
+  /// (e.g. softirq work executing on a general-purpose vCPU).
+  void submit_as(CpuCategory category, Duration work,
+                 std::function<void()> done);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TimePoint busy_until() const { return busy_until_; }
+  [[nodiscard]] Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t items_executed() const { return items_; }
+
+  /// Utilization over a wall-clock interval, in [0, 1+].
+  [[nodiscard]] double utilization(Duration wall) const {
+    return wall == 0 ? 0.0
+                     : static_cast<double>(busy_time_) /
+                           static_cast<double>(wall);
+  }
+
+ private:
+  struct Sink {
+    CpuAccount* account;
+    CpuCategory category;
+  };
+
+  void charge(CpuCategory category, Duration work);
+
+  Engine* engine_;
+  std::string name_;
+  std::vector<Sink> sinks_;
+  TimePoint busy_until_ = 0;
+  Duration busy_time_ = 0;
+  std::uint64_t items_ = 0;
+};
+
+}  // namespace nestv::sim

@@ -1,0 +1,157 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace nestv::sim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  return m != 0.0 ? stddev() / m : 0.0;
+}
+
+void Samples::add(double x) {
+  xs_.push_back(x);
+  sorted_ = false;
+}
+
+void Samples::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size()));
+}
+
+double Samples::min() const {
+  sort_if_needed();
+  return xs_.empty() ? 0.0 : xs_.front();
+}
+
+double Samples::max() const {
+  sort_if_needed();
+  return xs_.empty() ? 0.0 : xs_.back();
+}
+
+double Samples::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  sort_if_needed();
+  if (p <= 0.0) return xs_.front();
+  if (p >= 100.0) return xs_.back();
+  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+BoxStats box_stats(const Samples& s) {
+  BoxStats b;
+  b.min = s.min();
+  b.q1 = s.percentile(25.0);
+  b.median = s.percentile(50.0);
+  b.q3 = s.percentile(75.0);
+  b.max = s.max();
+  b.mean = s.mean();
+  b.stddev = s.stddev();
+  return b;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double pos = (x - lo_) / width;
+  if (pos < 0.0) pos = 0.0;
+  auto idx = static_cast<std::size_t>(pos);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::render(int max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar =
+        static_cast<int>(static_cast<double>(counts_[i]) /
+                         static_cast<double>(peak) * max_width);
+    std::snprintf(line, sizeof line, "%10.3f .. %10.3f | %8llu | ",
+                  bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nestv::sim

@@ -1,0 +1,93 @@
+// Statistics collection used by every benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nestv::sim {
+
+/// Streaming mean / variance / extrema via Welford's algorithm.
+/// Used where only summary moments are needed (cheap, O(1) memory).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;   ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Coefficient of variation (stddev/mean); the paper reports latency
+  /// stdevs as a fraction of the average (e.g. section 5.2.2).
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains every sample; supports exact percentiles.  Used for latency
+/// distributions (fig 8 boot-time boxplots, wrk2-style latency reports).
+class Samples {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  [[nodiscard]] std::uint64_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact percentile by linear interpolation, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+/// Five-number summary + mean, as the paper's fig 8b table reports.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0, stddev = 0;
+};
+BoxStats box_stats(const Samples& s);
+
+/// Fixed-width histogram for the fig 9 cost-savings frequency plot.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);  ///< out-of-range values clamp into the edge bins
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Renders "lo..hi | count | ###" rows for benchmark stdout.
+  [[nodiscard]] std::string render(int max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace nestv::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace nestv::sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_milliseconds(d));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_microseconds(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace nestv::sim

@@ -1,0 +1,47 @@
+// Simulated-time primitives for the nestv discrete-event engine.
+//
+// All simulated time is carried as unsigned 64-bit nanoseconds.  The paper's
+// testbed used the host TSC as an absolute clock across the virtual boundary
+// (section 5.2.4); the DES clock plays that role here by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nestv::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using TimePoint = std::uint64_t;
+
+/// Relative simulated duration in nanoseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr Duration nanoseconds(std::uint64_t n) { return n; }
+constexpr Duration microseconds(std::uint64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::uint64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::uint64_t n) { return n * kSecond; }
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Converts a floating-point second count to a Duration, saturating at zero.
+constexpr Duration from_seconds(double s) {
+  return s <= 0.0 ? 0 : static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Human-readable rendering ("12.345 ms", "3.2 s", ...), used in reports.
+std::string format_duration(Duration d);
+
+}  // namespace nestv::sim

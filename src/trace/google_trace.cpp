@@ -1,0 +1,94 @@
+#include "trace/google_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nestv::trace {
+
+std::vector<orch::UserWorkload> generate_google_like_trace(
+    const TraceConfig& config) {
+  sim::Rng rng(config.seed);
+  std::vector<orch::UserWorkload> users;
+  users.reserve(static_cast<std::size_t>(config.users));
+
+  std::uint32_t next_pod_id = 1;
+  for (int u = 0; u < config.users; ++u) {
+    sim::Rng user_rng = rng.fork();
+    orch::UserWorkload user;
+    user.user_id = static_cast<std::uint32_t>(u + 1);
+
+    const int pods = static_cast<int>(std::min<double>(
+        std::floor(user_rng.pareto(1.0, config.pods_alpha)),
+        config.max_pods_per_user));
+    for (int p = 0; p < pods; ++p) {
+      orch::PodSpec pod;
+      pod.pod_id = next_pod_id++;
+
+      // Geometric container count (pods are small groups of tasks).
+      int n = 1;
+      while (n < config.max_containers &&
+             user_rng.chance(config.containers_p)) {
+        ++n;
+      }
+
+      // Containers of one pod share a base size (tasks of a job are
+      // homogeneous in the Google trace) with per-container wobble.
+      const double base_cpu = std::min(
+          user_rng.lognormal(config.cpu_mu, config.cpu_sigma),
+          config.max_container_size);
+      for (int c = 0; c < n; ++c) {
+        orch::ContainerDemand d;
+        d.cpu = std::min(base_cpu * user_rng.lognormal(0.0, 0.18),
+                         config.max_container_size);
+        d.mem = std::min(
+            d.cpu * user_rng.lognormal(config.mem_ratio_mu,
+                                       config.mem_ratio_sigma),
+            config.max_container_size);
+        pod.containers.push_back(d);
+      }
+      // Whole-pod placement requires a pod to fit the largest machine;
+      // clip pods that drew an oversized total (the real trace's jobs are
+      // pre-filtered the same way by construction of the experiment).
+      const auto total = pod.total();
+      const double overflow =
+          std::max(total.cpu, total.mem) / config.max_container_size;
+      if (overflow > 1.0) {
+        for (auto& d : pod.containers) {
+          d.cpu /= overflow;
+          d.mem /= overflow;
+        }
+      }
+      user.pods.push_back(std::move(pod));
+    }
+    users.push_back(std::move(user));
+  }
+  return users;
+}
+
+TraceStats summarize(const std::vector<orch::UserWorkload>& users) {
+  TraceStats s;
+  s.users = static_cast<int>(users.size());
+  double cpu_sum = 0.0;
+  for (const auto& u : users) {
+    s.pods += u.pods.size();
+    s.max_pods_per_user = std::max<std::uint64_t>(s.max_pods_per_user,
+                                                  u.pods.size());
+    for (const auto& p : u.pods) {
+      s.containers += p.containers.size();
+      for (const auto& c : p.containers) {
+        cpu_sum += c.cpu;
+        s.max_container_cpu = std::max(s.max_container_cpu, c.cpu);
+      }
+    }
+  }
+  if (s.containers > 0) {
+    s.mean_container_cpu = cpu_sum / static_cast<double>(s.containers);
+  }
+  if (s.users > 0) {
+    s.mean_pods_per_user =
+        static_cast<double>(s.pods) / static_cast<double>(s.users);
+  }
+  return s;
+}
+
+}  // namespace nestv::trace

@@ -1,0 +1,63 @@
+// Synthetic stand-in for the Google cluster traces (Reiss et al. [29]).
+//
+// The real 2011 trace is an external dataset this reproduction does not
+// ship.  The fig 9 cost simulation only consumes per-user lists of pods
+// with per-container (cpu, mem) requests normalized to the largest machine
+// — so we generate a deterministic synthetic population with the published
+// trace's qualitative shape:
+//   * per-user job counts are heavy-tailed (most users run a handful of
+//     pods, a few run hundreds);
+//   * task resource requests are small and right-skewed (medians well
+//     under 2% of a machine, with rare large tasks);
+//   * cpu and memory requests are positively correlated;
+//   * jobs group 1..~10 tasks of similar size (our pod = job, container =
+//     task group slice).
+// The substitution is recorded in DESIGN.md section 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "orch/cluster.hpp"
+#include "sim/rng.hpp"
+
+namespace nestv::trace {
+
+struct TraceConfig {
+  std::uint64_t seed = 2019;
+  /// "among 492 users in the Google traces" (section 5.3.1).
+  int users = 492;
+  /// Pareto shape for pods-per-user (smaller = heavier tail).
+  double pods_alpha = 1.1;
+  int max_pods_per_user = 400;
+  /// Lognormal (mu, sigma) of a container's cpu request (relative units).
+  double cpu_mu = -4.3;    ///< e^-4.3 ~ 1.4% of a 24xlarge
+  double cpu_sigma = 1.05;
+  /// Memory correlated with cpu: mem = cpu * lognormal(ratio).
+  double mem_ratio_mu = 0.0;
+  double mem_ratio_sigma = 0.45;
+  /// Container count per pod: 1 + min(geometric, max-1).
+  double containers_p = 0.40;
+  int max_containers = 10;
+  /// Cap any single container at this fraction of the largest VM.
+  double max_container_size = 0.9;
+};
+
+/// Deterministically generates the synthetic user population.
+[[nodiscard]] std::vector<orch::UserWorkload> generate_google_like_trace(
+    const TraceConfig& config = {});
+
+/// Summary statistics used by tests to validate the generator's shape.
+struct TraceStats {
+  int users = 0;
+  std::uint64_t pods = 0;
+  std::uint64_t containers = 0;
+  double mean_container_cpu = 0.0;
+  double max_container_cpu = 0.0;
+  double mean_pods_per_user = 0.0;
+  std::uint64_t max_pods_per_user = 0;
+};
+[[nodiscard]] TraceStats summarize(
+    const std::vector<orch::UserWorkload>& users);
+
+}  // namespace nestv::trace

@@ -1,0 +1,49 @@
+#include "vmm/datacenter.hpp"
+
+#include <cassert>
+
+namespace nestv::vmm {
+
+PhysicalSwitch::PhysicalSwitch(sim::Engine& engine,
+                               const sim::CostModel& costs,
+                               net::Ipv4Cidr fabric_subnet)
+    : engine_(&engine), costs_(&costs), subnet_(fabric_subnet) {
+  fabric_ = std::make_unique<net::Bridge>(engine, "fabric/tor0", costs,
+                                          /*guest_level=*/false);
+}
+
+void PhysicalSwitch::attach(PhysicalMachine& machine) {
+  for (const Member& m : members_) {
+    assert(m.machine->config().bridge_subnet.network() !=
+               machine.config().bridge_subnet.network() &&
+           "machines on one fabric need distinct VM subnets");
+  }
+
+  Member member;
+  member.machine = &machine;
+  member.ext_ip = subnet_.host(next_ip_++);
+  member.port = std::make_unique<net::PortBackend>(
+      *engine_, machine.config().name + "/ext0-port", *costs_);
+  net::Device::connect(*member.port, 0, *fabric_, fabric_->add_port());
+
+  net::InterfaceConfig cfg;
+  cfg.name = "ext0";
+  cfg.mac = machine.allocate_mac();
+  cfg.ip = member.ext_ip;
+  cfg.subnet = subnet_;
+  cfg.gso_bytes = costs_->gso_virtio;  // physical NICs have TSO
+  const int ext_if = machine.stack().add_interface(*member.port, cfg);
+
+  // Full-mesh routes: everyone reaches everyone's VM subnet through the
+  // owner's external address.
+  for (Member& other : members_) {
+    const int other_ext = other.machine->stack().ifindex_of("ext0");
+    machine.stack().routes().add(net::Route{
+        other.machine->config().bridge_subnet, ext_if, other.ext_ip, 0});
+    other.machine->stack().routes().add(net::Route{
+        machine.config().bridge_subnet, other_ext, member.ext_ip, 0});
+  }
+  members_.push_back(std::move(member));
+}
+
+}  // namespace nestv::vmm

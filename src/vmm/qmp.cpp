@@ -1,0 +1,39 @@
+#include "vmm/qmp.hpp"
+
+#include <utility>
+
+namespace nestv::vmm {
+
+QmpChannel::QmpChannel(sim::Engine& engine, sim::Rng rng,
+                       std::string vm_name, HotplugTiming timing)
+    : engine_(&engine),
+      rng_(rng),
+      vm_name_(std::move(vm_name)),
+      timing_(timing) {}
+
+void QmpChannel::device_add_nic(
+    net::MacAddress mac,
+    std::function<void(net::MacAddress, sim::Duration)> done) {
+  ++commands_;
+  const auto rtt = static_cast<sim::Duration>(
+      rng_.lognormal(timing_.qmp_rtt_mu, timing_.qmp_rtt_sigma));
+  const auto probe = static_cast<sim::Duration>(
+      rng_.lognormal(timing_.probe_mu, timing_.probe_sigma));
+  const sim::Duration total = rtt + probe;
+  engine_->schedule_in(total, [mac, total, done = std::move(done)] {
+    done(mac, total);
+  });
+}
+
+void QmpChannel::device_del_nic(net::MacAddress mac,
+                                std::function<void()> done) {
+  (void)mac;
+  ++commands_;
+  const auto rtt = static_cast<sim::Duration>(
+      rng_.lognormal(timing_.qmp_rtt_mu, timing_.qmp_rtt_sigma));
+  const auto unbind = static_cast<sim::Duration>(
+      rng_.lognormal(timing_.probe_mu - 0.7, timing_.probe_sigma));
+  engine_->schedule_in(rtt + unbind, std::move(done));
+}
+
+}  // namespace nestv::vmm

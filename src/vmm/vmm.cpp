@@ -1,0 +1,87 @@
+#include "vmm/vmm.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace nestv::vmm {
+
+Vmm::Vmm(PhysicalMachine& machine) : machine_(&machine) {}
+
+Vm& Vmm::create_vm(Vm::Config config) {
+  auto vm = std::make_unique<Vm>(*machine_, std::move(config));
+  Vm& ref = *vm;
+  qmp_[vm.get()] = std::make_unique<QmpChannel>(
+      machine_->engine(), machine_->rng().fork(), ref.name());
+  vms_.push_back(std::move(vm));
+  return ref;
+}
+
+Vm* Vmm::find_vm(const std::string& name) {
+  for (auto& vm : vms_) {
+    if (vm->name() == name) return vm.get();
+  }
+  return nullptr;
+}
+
+QmpChannel& Vmm::qmp(const Vm& vm) {
+  const auto it = qmp_.find(&vm);
+  assert(it != qmp_.end());
+  return *it->second;
+}
+
+void Vmm::provision_nic(Vm& vm, std::function<void(ProvisionedNic)> done) {
+  ++nic_count_;
+  const auto mac = machine_->allocate_mac();
+  const std::string nic_name = "podnic" + std::to_string(nic_count_);
+
+  // Host side first (netdev_add): tap on the host bridge + vhost worker.
+  net::TapDevice& tap = machine_->make_tap(vm.name() + "-" + nic_name);
+  VirtioNic& nic = vm.create_nic(nic_name);
+  nic.attach_host_tap(tap);
+
+  // Then the QMP device_add and the guest probe.
+  qmp(vm).device_add_nic(
+      mac, [&nic, &tap, done = std::move(done)](net::MacAddress assigned,
+                                                sim::Duration elapsed) {
+        done(ProvisionedNic{&nic, assigned, &tap, elapsed});
+      });
+}
+
+void Vmm::create_hostlo(std::span<Vm* const> vms,
+                        std::function<void(ProvisionedHostlo)> done) {
+  assert(!vms.empty());
+  ++hostlo_count_;
+  const std::string name = "hostlo" + std::to_string(hostlo_count_);
+  auto& worker = machine_->make_kernel_worker(name);
+  auto hostlo = std::make_unique<HostloTap>(
+      machine_->engine(), machine_->config().name + "/" + name,
+      machine_->costs(), &worker);
+  HostloTap* tap = hostlo.get();
+  hostlos_.push_back(std::move(hostlo));
+
+  // One endpoint per VM; completion gathers asynchronously.
+  auto result = std::make_shared<ProvisionedHostlo>();
+  result->hostlo = tap;
+  result->endpoints.resize(vms.size());
+  auto remaining = std::make_shared<std::size_t>(vms.size());
+  auto shared_done =
+      std::make_shared<std::function<void(ProvisionedHostlo)>>(
+          std::move(done));
+
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    Vm& vm = *vms[i];
+    const auto mac = machine_->allocate_mac();
+    VirtioNic& endpoint =
+        vm.create_nic(name + "-ep" + std::to_string(i));
+    tap->add_queue(endpoint);
+    qmp(vm).device_add_nic(
+        mac, [result, remaining, shared_done, i, &endpoint](
+                 net::MacAddress assigned, sim::Duration elapsed) {
+          result->endpoints[i] =
+              ProvisionedNic{&endpoint, assigned, nullptr, elapsed};
+          if (--*remaining == 0) (*shared_done)(std::move(*result));
+        });
+  }
+}
+
+}  // namespace nestv::vmm

@@ -1,0 +1,78 @@
+// The VMM: the management entity the orchestrator talks to.
+//
+// Implements the two paper protocols:
+//  * BrFusion (section 3.1): "the orchestrator asks the VMM for a new NIC
+//    to be added to the VM [...]; the VMM adds the new NIC to the VM and
+//    configures it [plugs it into a bridge on the host]; the VMM sends the
+//    orchestrator some sort of identifier of the new NIC (such as the MAC
+//    address)".
+//  * Hostlo (section 4.1): "the orchestrator asks the VMM for a new Hostlo
+//    for the pod [...]; the VMM creates the new Hostlo, and multiplexes it
+//    between the specified VMs".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vmm/hostlo_tap.hpp"
+#include "vmm/machine.hpp"
+#include "vmm/qmp.hpp"
+#include "vmm/vm.hpp"
+
+namespace nestv::vmm {
+
+class Vmm {
+ public:
+  explicit Vmm(PhysicalMachine& machine);
+
+  [[nodiscard]] PhysicalMachine& machine() { return *machine_; }
+
+  Vm& create_vm(Vm::Config config);
+  [[nodiscard]] Vm* find_vm(const std::string& name);
+  [[nodiscard]] QmpChannel& qmp(const Vm& vm);
+
+  /// Result of a BrFusion NIC provisioning.
+  struct ProvisionedNic {
+    VirtioNic* nic = nullptr;          ///< guest-side endpoint (unattached)
+    net::MacAddress mac;               ///< the identifier sent back (step 3)
+    net::TapDevice* host_tap = nullptr;
+    sim::Duration hotplug_elapsed = 0;
+  };
+
+  /// BrFusion: hot-plugs a fresh NIC into `vm`, backed by a tap on the
+  /// host bridge.  `done` fires when the guest has probed the device; the
+  /// caller (CNI plugin) then moves the NIC into the pod namespace.
+  void provision_nic(Vm& vm, std::function<void(ProvisionedNic)> done);
+
+  /// Result of a Hostlo creation.
+  struct ProvisionedHostlo {
+    HostloTap* hostlo = nullptr;
+    /// One endpoint per requested VM, in request order.
+    std::vector<ProvisionedNic> endpoints;
+  };
+
+  /// Hostlo: creates the multi-queue loopback TAP and hot-plugs one
+  /// endpoint NIC into each VM.  `done` fires when every guest has probed
+  /// its endpoint.
+  void create_hostlo(std::span<Vm* const> vms,
+                     std::function<void(ProvisionedHostlo)> done);
+
+  [[nodiscard]] std::uint64_t nics_provisioned() const { return nic_count_; }
+  [[nodiscard]] std::uint64_t hostlos_created() const {
+    return hostlo_count_;
+  }
+
+ private:
+  PhysicalMachine* machine_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+  std::map<const Vm*, std::unique_ptr<QmpChannel>> qmp_;
+  std::vector<std::unique_ptr<HostloTap>> hostlos_;
+  std::uint64_t nic_count_ = 0;
+  std::uint64_t hostlo_count_ = 0;
+};
+
+}  // namespace nestv::vmm

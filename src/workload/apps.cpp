@@ -1,0 +1,85 @@
+#include "workload/apps.hpp"
+
+namespace nestv::workload {
+
+OpClassifier memcached_classifier(const MemcachedParams& p) {
+  return [p](std::uint16_t conn_key, std::uint64_t op_index) {
+    // Deterministic SET:GET mix, decorrelated across connections.
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(conn_key) * 2654435761ULL + op_index);
+    const bool is_set =
+        (h % static_cast<std::uint64_t>(p.set_every)) == 0;
+    OpSpec spec;
+    if (is_set) {
+      spec.request_bytes = 12 + p.key_bytes + p.value_bytes;  // set header
+      spec.response_bytes = 8;                                // STORED\r\n
+      spec.server_work = p.set_work;
+    } else {
+      spec.request_bytes = 6 + p.key_bytes;                   // get header
+      spec.response_bytes = 24 + p.value_bytes;               // VALUE..END
+      spec.server_work = p.get_work;
+    }
+    return spec;
+  };
+}
+
+MacroDeployment deploy_memcached(const scenario::Endpoint& client,
+                                 const scenario::Endpoint& server,
+                                 std::uint16_t port, sim::Rng server_rng,
+                                 MemcachedParams params) {
+  MacroDeployment d;
+  const auto classifier = memcached_classifier(params);
+  d.server = std::make_unique<RpcServer>(
+      server, port, classifier, params.server_threads,
+      params.work_jitter_sigma, server_rng, "memcached");
+  d.closed_client = std::make_unique<ClosedLoopClient>(
+      client, server.service_ip, port, classifier, params.client_threads,
+      params.conns_per_thread, "memtier");
+  return d;
+}
+
+OpClassifier nginx_classifier(const NginxParams& p) {
+  return [p](std::uint16_t, std::uint64_t) {
+    return OpSpec{p.request_bytes, p.file_bytes + p.resp_header_bytes,
+                  p.server_work};
+  };
+}
+
+MacroDeployment deploy_nginx(const scenario::Endpoint& client,
+                             const scenario::Endpoint& server,
+                             std::uint16_t port, sim::Rng server_rng,
+                             NginxParams params) {
+  MacroDeployment d;
+  const auto classifier = nginx_classifier(params);
+  d.server = std::make_unique<RpcServer>(
+      server, port, classifier, params.server_threads,
+      params.work_jitter_sigma, server_rng, "nginx");
+  d.open_client = std::make_unique<OpenLoopClient>(
+      client, server.service_ip, port, classifier, params.client_threads,
+      params.conns, params.req_per_sec, "wrk2");
+  return d;
+}
+
+OpClassifier kafka_classifier(const KafkaParams& p) {
+  return [p](std::uint16_t, std::uint64_t) {
+    return OpSpec{p.batch_bytes + p.produce_overhead_bytes, p.ack_bytes,
+                  p.server_work_per_batch};
+  };
+}
+
+MacroDeployment deploy_kafka(const scenario::Endpoint& client,
+                             const scenario::Endpoint& server,
+                             std::uint16_t port, sim::Rng server_rng,
+                             KafkaParams params) {
+  MacroDeployment d;
+  const auto classifier = kafka_classifier(params);
+  d.server = std::make_unique<RpcServer>(
+      server, port, classifier, params.server_threads,
+      params.work_jitter_sigma, server_rng, "kafka");
+  d.open_client = std::make_unique<OpenLoopClient>(
+      client, server.service_ip, port, classifier, params.client_threads,
+      params.conns, params.batches_per_sec(), "producer-perf");
+  return d;
+}
+
+}  // namespace nestv::workload

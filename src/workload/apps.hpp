@@ -1,0 +1,98 @@
+// Table 1 macro-benchmarks, parameterized over the generic RPC harness.
+//
+//   Application | Benchmark                   | Parameters
+//   Memcached   | memtier_benchmark           | 4 threads, 50 con./thread,
+//               |                             | SET:GET = 1:10
+//   NGINX       | wrk2                        | 2 threads, 100 con. total,
+//               |                             | 10k req/s on 1kB file
+//   Kafka       | kafka-producer-perf-test.sh | 120000 msg/s, 100B messages,
+//               |                             | batch size 8192B
+#pragma once
+
+#include <memory>
+
+#include "workload/rpc.hpp"
+
+namespace nestv::workload {
+
+// ---- Memcached ---------------------------------------------------------------
+
+struct MemcachedParams {
+  int client_threads = 4;
+  int conns_per_thread = 50;
+  int set_every = 11;            ///< SET:GET = 1:10 -> one SET per 11 ops
+  std::uint32_t key_bytes = 24;
+  std::uint32_t value_bytes = 100;
+  sim::Duration get_work = 2600;   ///< hash lookup + response assembly
+  sim::Duration set_work = 3400;   ///< allocation + LRU update
+  double work_jitter_sigma = 0.20;
+  int server_threads = 4;
+};
+
+[[nodiscard]] OpClassifier memcached_classifier(const MemcachedParams& p);
+
+struct MacroDeployment {
+  std::unique_ptr<RpcServer> server;
+  std::unique_ptr<ClosedLoopClient> closed_client;
+  std::unique_ptr<OpenLoopClient> open_client;
+};
+
+/// Deploys a Memcached server on `server` and a memtier client on `client`.
+[[nodiscard]] MacroDeployment deploy_memcached(
+    const scenario::Endpoint& client, const scenario::Endpoint& server,
+    std::uint16_t port, sim::Rng server_rng, MemcachedParams params = {});
+
+// ---- NGINX ---------------------------------------------------------------------
+
+struct NginxParams {
+  int client_threads = 2;
+  int conns = 100;
+  double req_per_sec = 10000.0;
+  std::uint32_t request_bytes = 120;   ///< GET + headers
+  std::uint32_t file_bytes = 1024;     ///< the 1kB file
+  std::uint32_t resp_header_bytes = 238;
+  sim::Duration server_work = 22000;   ///< accept->sendfile path
+  /// The paper observed latency stdev ~2x the mean for NGINX under both
+  /// NAT and BrFusion and attributed it to "the software itself rather
+  /// than the networking layer" — modeled as heavy service-time jitter.
+  double work_jitter_sigma = 1.05;
+  int server_threads = 2;              ///< worker processes
+};
+
+[[nodiscard]] OpClassifier nginx_classifier(const NginxParams& p);
+
+[[nodiscard]] MacroDeployment deploy_nginx(const scenario::Endpoint& client,
+                                           const scenario::Endpoint& server,
+                                           std::uint16_t port,
+                                           sim::Rng server_rng,
+                                           NginxParams params = {});
+
+// ---- Kafka ----------------------------------------------------------------------
+
+struct KafkaParams {
+  double msgs_per_sec = 120000.0;
+  std::uint32_t msg_bytes = 100;
+  std::uint32_t batch_bytes = 8192;
+  std::uint32_t produce_overhead_bytes = 94;  ///< request header
+  std::uint32_t ack_bytes = 68;
+  sim::Duration server_work_per_batch = 26000;  ///< log append + index
+  double work_jitter_sigma = 0.30;
+  int client_threads = 1;  ///< one producer
+  int conns = 1;
+  int server_threads = 2;
+
+  /// Batches per second implied by the message rate.
+  [[nodiscard]] double batches_per_sec() const {
+    return msgs_per_sec * msg_bytes / batch_bytes;
+  }
+};
+
+[[nodiscard]] OpClassifier kafka_classifier(const KafkaParams& p);
+
+[[nodiscard]] MacroDeployment deploy_kafka(const scenario::Endpoint& client,
+                                           const scenario::Endpoint& server,
+                                           std::uint16_t port,
+                                           sim::Rng server_rng,
+                                           KafkaParams params = {});
+
+}  // namespace nestv::workload

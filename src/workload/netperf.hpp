@@ -1,0 +1,50 @@
+// Netperf micro-benchmark (section 5.1): UDP_RR for latency, TCP_STREAM
+// for throughput, swept over message sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/testbed.hpp"
+#include "sim/stats.hpp"
+
+namespace nestv::workload {
+
+struct RrResult {
+  std::uint64_t transactions = 0;
+  double mean_latency_us = 0.0;
+  double stddev_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  double transactions_per_sec = 0.0;
+};
+
+struct StreamResult {
+  std::uint64_t bytes_delivered = 0;
+  double throughput_mbps = 0.0;
+  std::uint64_t retransmits = 0;
+};
+
+class Netperf {
+ public:
+  /// Drives traffic from `client` to `server` on `port`.  The caller's
+  /// Testbed engine is advanced internally; each run starts at the current
+  /// simulated time.
+  Netperf(sim::Engine& engine, scenario::Endpoint client,
+          scenario::Endpoint server, std::uint16_t port);
+
+  /// UDP_RR: synchronous transactions, one at a time (netperf -t UDP_RR).
+  /// Request and response both carry `msg_bytes`.
+  RrResult run_udp_rr(std::uint32_t msg_bytes, sim::Duration duration);
+
+  /// TCP_STREAM: send as much as possible for `duration` using
+  /// `msg_bytes`-sized application writes (netperf -t TCP_STREAM -m size).
+  StreamResult run_tcp_stream(std::uint32_t msg_bytes,
+                              sim::Duration duration);
+
+ private:
+  sim::Engine* engine_;
+  scenario::Endpoint client_;
+  scenario::Endpoint server_;
+  std::uint16_t port_;
+};
+
+}  // namespace nestv::workload

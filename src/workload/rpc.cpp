@@ -1,0 +1,275 @@
+#include "workload/rpc.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace nestv::workload {
+
+// ---- RpcServer --------------------------------------------------------------
+
+struct RpcServer::Conn {
+  net::TcpSocket sock;
+  std::uint16_t key = 0;
+  std::uint64_t op_index = 0;
+  std::uint64_t bytes_pending = 0;
+  sim::SerialResource* thread = nullptr;
+
+  explicit Conn(net::TcpSocket s) : sock(std::move(s)) {}
+};
+
+RpcServer::RpcServer(scenario::Endpoint endpoint, std::uint16_t port,
+                     OpClassifier classifier, int threads,
+                     double work_jitter_sigma, sim::Rng rng,
+                     const std::string& name)
+    : endpoint_(std::move(endpoint)),
+      port_(port),
+      classifier_(std::move(classifier)),
+      jitter_sigma_(work_jitter_sigma),
+      rng_(rng) {
+  assert(threads >= 1);
+  threads_.push_back(endpoint_.app);
+  for (int i = 1; i < threads; ++i) {
+    threads_.push_back(&endpoint_.make_core(name + "-t" + std::to_string(i)));
+  }
+  endpoint_.stack->tcp_listen(
+      port_, endpoint_.app,
+      [this](net::TcpSocket sock) { on_accept(std::move(sock)); });
+}
+
+void RpcServer::on_accept(net::TcpSocket sock) {
+  auto conn = std::make_shared<Conn>(std::move(sock));
+  conn->key = conn->sock.remote_port();
+  conn->thread = threads_[next_thread_++ % threads_.size()];
+  conn->sock.set_on_receive([this, conn](std::uint32_t n) {
+    on_bytes(conn, n);
+  });
+  conns_.push_back(conn);
+}
+
+void RpcServer::on_bytes(const std::shared_ptr<Conn>& conn,
+                         std::uint32_t n) {
+  conn->bytes_pending += n;
+  while (true) {
+    const OpSpec spec = classifier_(conn->key, conn->op_index);
+    if (conn->bytes_pending < spec.request_bytes) break;
+    conn->bytes_pending -= spec.request_bytes;
+    ++conn->op_index;
+    ++ops_;
+    const double jitter =
+        jitter_sigma_ > 0.0 ? rng_.lognormal(0.0, jitter_sigma_) : 1.0;
+    const auto work = static_cast<sim::Duration>(
+        static_cast<double>(spec.server_work) * jitter);
+    conn->thread->submit_as(
+        sim::CpuCategory::kUsr, work,
+        [conn, resp = spec.response_bytes] { conn->sock.send(resp); });
+  }
+}
+
+// ---- ClosedLoopClient ----------------------------------------------------------
+
+struct ClosedLoopClient::Conn {
+  net::TcpSocket sock;
+  std::uint64_t op_index = 0;
+  std::uint32_t resp_expected = 0;
+  std::uint32_t resp_received = 0;
+  sim::TimePoint issued_at = 0;
+  sim::SerialResource* thread = nullptr;
+
+  explicit Conn(net::TcpSocket s) : sock(std::move(s)) {}
+};
+
+ClosedLoopClient::ClosedLoopClient(scenario::Endpoint endpoint,
+                                   net::Ipv4Address service_ip,
+                                   std::uint16_t port,
+                                   OpClassifier classifier, int threads,
+                                   int conns_per_thread,
+                                   const std::string& name)
+    : endpoint_(std::move(endpoint)),
+      service_ip_(service_ip),
+      port_(port),
+      classifier_(std::move(classifier)),
+      threads_(threads),
+      conns_per_thread_(conns_per_thread),
+      name_(name) {}
+
+LoadResult ClosedLoopClient::run(sim::Engine& engine,
+                                 sim::Duration duration) {
+  const sim::TimePoint deadline = engine.now() + duration;
+  auto latencies = std::make_shared<sim::Samples>();
+  std::vector<std::shared_ptr<Conn>> conns;
+
+  std::vector<sim::SerialResource*> threads;
+  threads.push_back(endpoint_.app);
+  for (int i = 1; i < threads_; ++i) {
+    threads.push_back(
+        &endpoint_.make_core(name_ + "-t" + std::to_string(i)));
+  }
+
+  for (int t = 0; t < threads_; ++t) {
+    for (int c = 0; c < conns_per_thread_; ++c) {
+      auto conn = std::make_shared<Conn>(endpoint_.stack->tcp_connect(
+          endpoint_.local_ip, service_ip_, port_, threads[t % threads.size()]));
+      conn->thread = threads[t % threads.size()];
+      conns.push_back(conn);
+    }
+  }
+
+  auto issue = std::make_shared<
+      std::function<void(const std::shared_ptr<Conn>&)>>();
+  *issue = [this, &engine, deadline](const std::shared_ptr<Conn>& conn) {
+    if (engine.now() >= deadline) return;
+    const OpSpec spec = classifier_(conn->sock.local_port(), conn->op_index);
+    ++conn->op_index;
+    conn->resp_expected = spec.response_bytes;
+    conn->resp_received = 0;
+    conn->issued_at = engine.now();
+    conn->sock.send(spec.request_bytes);
+  };
+
+  for (auto& conn : conns) {
+    conn->sock.set_on_connected([issue, conn] { (*issue)(conn); });
+    conn->sock.set_on_receive(
+        [&engine, latencies, issue, conn](std::uint32_t n) {
+          conn->resp_received += n;
+          if (conn->resp_received >= conn->resp_expected &&
+              conn->resp_expected != 0) {
+            latencies->add(
+                sim::to_microseconds(engine.now() - conn->issued_at));
+            conn->resp_expected = 0;
+            (*issue)(conn);
+          }
+        });
+  }
+
+  engine.run_until(deadline + sim::milliseconds(50));
+
+  LoadResult r;
+  r.ops = latencies->count();
+  r.ops_per_sec = static_cast<double>(r.ops) / sim::to_seconds(duration);
+  r.mean_latency_us = latencies->mean();
+  r.stddev_latency_us = latencies->stddev();
+  r.p50_latency_us = latencies->percentile(50.0);
+  r.p99_latency_us = latencies->percentile(99.0);
+  return r;
+}
+
+// ---- OpenLoopClient -------------------------------------------------------------
+
+struct OpenLoopClient::Conn {
+  net::TcpSocket sock;
+  std::uint64_t op_index = 0;
+  std::uint32_t resp_expected = 0;
+  std::uint32_t resp_received = 0;
+  sim::TimePoint intended_at = 0;
+  bool busy = false;
+  bool connected = false;
+  std::deque<sim::TimePoint> backlog;  ///< intended times awaiting the conn
+
+  explicit Conn(net::TcpSocket s) : sock(std::move(s)) {}
+};
+
+OpenLoopClient::OpenLoopClient(scenario::Endpoint endpoint,
+                               net::Ipv4Address service_ip,
+                               std::uint16_t port, OpClassifier classifier,
+                               int threads, int conns, double ops_per_sec,
+                               const std::string& name)
+    : endpoint_(std::move(endpoint)),
+      service_ip_(service_ip),
+      port_(port),
+      classifier_(std::move(classifier)),
+      threads_(threads),
+      conns_(conns),
+      rate_(ops_per_sec),
+      name_(name) {}
+
+LoadResult OpenLoopClient::run(sim::Engine& engine, sim::Duration duration) {
+  const sim::TimePoint start = engine.now();
+  const sim::TimePoint deadline = start + duration;
+  auto latencies = std::make_shared<sim::Samples>();
+
+  std::vector<sim::SerialResource*> threads;
+  threads.push_back(endpoint_.app);
+  for (int i = 1; i < threads_; ++i) {
+    threads.push_back(
+        &endpoint_.make_core(name_ + "-t" + std::to_string(i)));
+  }
+
+  std::vector<std::shared_ptr<Conn>> conns;
+  for (int c = 0; c < conns_; ++c) {
+    auto conn = std::make_shared<Conn>(endpoint_.stack->tcp_connect(
+        endpoint_.local_ip, service_ip_, port_,
+        threads[static_cast<std::size_t>(c) % threads.size()]));
+    conns.push_back(conn);
+  }
+
+  auto start_op = std::make_shared<
+      std::function<void(const std::shared_ptr<Conn>&, sim::TimePoint)>>();
+  *start_op = [this](const std::shared_ptr<Conn>& conn,
+                     sim::TimePoint intended) {
+    const OpSpec spec = classifier_(conn->sock.local_port(), conn->op_index);
+    ++conn->op_index;
+    conn->busy = true;
+    conn->intended_at = intended;
+    conn->resp_expected = spec.response_bytes;
+    conn->resp_received = 0;
+    conn->sock.send(spec.request_bytes);
+  };
+
+  for (auto& conn : conns) {
+    conn->sock.set_on_connected([conn, start_op] {
+      conn->connected = true;
+      if (!conn->busy && !conn->backlog.empty()) {
+        const auto intended = conn->backlog.front();
+        conn->backlog.pop_front();
+        (*start_op)(conn, intended);
+      }
+    });
+    conn->sock.set_on_receive(
+        [&engine, latencies, conn, start_op](std::uint32_t n) {
+          conn->resp_received += n;
+          if (conn->resp_expected != 0 &&
+              conn->resp_received >= conn->resp_expected) {
+            latencies->add(
+                sim::to_microseconds(engine.now() - conn->intended_at));
+            conn->resp_expected = 0;
+            conn->busy = false;
+            if (!conn->backlog.empty()) {
+              const auto intended = conn->backlog.front();
+              conn->backlog.pop_front();
+              (*start_op)(conn, intended);
+            }
+          }
+        });
+  }
+
+  // Constant-rate arrivals assigned round-robin over connections.
+  const auto interval =
+      static_cast<sim::Duration>(1e9 / rate_);
+  const auto total_arrivals = static_cast<std::uint64_t>(
+      sim::to_seconds(duration) * rate_);
+  for (std::uint64_t i = 0; i < total_arrivals; ++i) {
+    const sim::TimePoint when = start + i * interval;
+    auto conn = conns[i % conns.size()];
+    engine.schedule_at(when, [conn, when, start_op] {
+      if (conn->connected && !conn->busy) {
+        (*start_op)(conn, when);
+      } else {
+        conn->backlog.push_back(when);
+      }
+    });
+  }
+
+  engine.run_until(deadline + sim::milliseconds(200));
+
+  LoadResult r;
+  r.ops = latencies->count();
+  r.ops_per_sec = static_cast<double>(r.ops) / sim::to_seconds(duration);
+  r.mean_latency_us = latencies->mean();
+  r.stddev_latency_us = latencies->stddev();
+  r.p50_latency_us = latencies->percentile(50.0);
+  r.p99_latency_us = latencies->percentile(99.0);
+  return r;
+}
+
+}  // namespace nestv::workload

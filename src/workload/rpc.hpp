@@ -1,0 +1,120 @@
+// Generic request/response application harness over simulated TCP.
+//
+// The three macro-benchmarks (table 1) are thin parameterizations of this:
+//   Memcached + memtier_benchmark  -> RpcServer + ClosedLoopClient
+//   NGINX + wrk2                   -> RpcServer + OpenLoopClient
+//   Kafka + kafka-producer-perf    -> RpcServer + OpenLoopClient (batches)
+//
+// Framing: both sides derive each operation's request/response byte counts
+// from the same deterministic classifier keyed by (connection, op index) —
+// standing in for the application protocol's self-describing framing,
+// which the byte-count-only simulation cannot carry in-band.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/testbed.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace nestv::workload {
+
+/// What one operation looks like on the wire and on the server's CPU.
+struct OpSpec {
+  std::uint32_t request_bytes = 64;
+  std::uint32_t response_bytes = 128;
+  sim::Duration server_work = 2000;  ///< app-level (usr) work per op
+};
+
+/// Deterministic per-op shape: conn_key is the client's ephemeral port (the
+/// same value both sides observe), op_index counts ops on that connection.
+using OpClassifier =
+    std::function<OpSpec(std::uint16_t conn_key, std::uint64_t op_index)>;
+
+/// Multi-threaded request/response server.
+class RpcServer {
+ public:
+  /// `work_jitter_sigma` multiplies each op's server_work by a lognormal
+  /// factor (median 1) drawn server-side — application service-time noise
+  /// (NGINX's huge latency stdev in fig 5 is app-level, section 5.2.2).
+  RpcServer(scenario::Endpoint endpoint, std::uint16_t port,
+            OpClassifier classifier, int threads, double work_jitter_sigma,
+            sim::Rng rng, const std::string& name);
+
+  [[nodiscard]] std::uint64_t ops_served() const { return ops_; }
+
+ private:
+  struct Conn;
+  void on_accept(net::TcpSocket sock);
+  void on_bytes(const std::shared_ptr<Conn>& conn, std::uint32_t n);
+
+  scenario::Endpoint endpoint_;
+  std::uint16_t port_;
+  OpClassifier classifier_;
+  std::vector<sim::SerialResource*> threads_;
+  double jitter_sigma_;
+  sim::Rng rng_;
+  std::uint64_t ops_ = 0;
+  std::size_t next_thread_ = 0;
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+struct LoadResult {
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  double mean_latency_us = 0.0;
+  double stddev_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+};
+
+/// memtier-style closed loop: `threads` x `conns_per_thread` connections,
+/// each keeping exactly one operation outstanding.
+class ClosedLoopClient {
+ public:
+  ClosedLoopClient(scenario::Endpoint endpoint, net::Ipv4Address service_ip,
+                   std::uint16_t port, OpClassifier classifier, int threads,
+                   int conns_per_thread, const std::string& name);
+
+  /// Runs the load for `duration` of simulated time (advances the engine).
+  LoadResult run(sim::Engine& engine, sim::Duration duration);
+
+ private:
+  struct Conn;
+  scenario::Endpoint endpoint_;
+  net::Ipv4Address service_ip_;
+  std::uint16_t port_;
+  OpClassifier classifier_;
+  int threads_;
+  int conns_per_thread_;
+  std::string name_;
+};
+
+/// wrk2-style open loop: a constant arrival rate spread over `conns`
+/// connections; latency is measured from the *intended* start time, so
+/// coordinated omission is avoided exactly as wrk2 does.
+class OpenLoopClient {
+ public:
+  OpenLoopClient(scenario::Endpoint endpoint, net::Ipv4Address service_ip,
+                 std::uint16_t port, OpClassifier classifier, int threads,
+                 int conns, double ops_per_sec, const std::string& name);
+
+  LoadResult run(sim::Engine& engine, sim::Duration duration);
+
+ private:
+  struct Conn;
+  scenario::Endpoint endpoint_;
+  net::Ipv4Address service_ip_;
+  std::uint16_t port_;
+  OpClassifier classifier_;
+  int threads_;
+  int conns_;
+  double rate_;
+  std::string name_;
+};
+
+}  // namespace nestv::workload

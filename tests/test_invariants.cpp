@@ -1,0 +1,117 @@
+// Cross-cutting invariants of the whole simulation — properties that must
+// hold regardless of calibration constants.
+#include <gtest/gtest.h>
+
+#include "scenario/single_server.hpp"
+#include "workload/netperf.hpp"
+
+namespace nestv {
+namespace {
+
+using scenario::ServerMode;
+
+TEST(LedgerInvariant, HostGuestTimeEqualsGuestExecution) {
+  // Every nanosecond a guest-side resource runs is simultaneously host CPU
+  // lent to that VM: the host "guest" bucket must equal the sum of all
+  // guest-account totals (per-app accounts double-count into the VM
+  // aggregate, so compare against the aggregates only).
+  auto s = scenario::make_single_server(ServerMode::kNat, 5001, {});
+  s.bed->machine().ledger().reset_all();
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+  np.run_udp_rr(512, sim::milliseconds(50));
+  np.run_tcp_stream(512, sim::milliseconds(50));
+
+  const auto host_guest =
+      s.bed->machine().host_account().get(sim::CpuCategory::kGuest);
+  sim::Duration guest_total = 0;
+  for (const auto* acc : s.bed->machine().ledger().accounts()) {
+    // VM aggregates are named "vm/<name>" with exactly one slash segment.
+    const auto& name = acc->name();
+    if (name.rfind("vm/", 0) == 0 &&
+        name.find('/', 3) == std::string::npos) {
+      guest_total += acc->total();
+    }
+  }
+  EXPECT_EQ(host_guest, guest_total);
+  EXPECT_GT(host_guest, 0u);
+}
+
+TEST(HookInvariant, NestedPathTraversesMoreHooksThanFused) {
+  // The core structural claim of section 3: BrFusion removes the guest
+  // netfilter traversal entirely.  Count hook executions during identical
+  // workloads.
+  auto count_guest_hooks = [](ServerMode mode) {
+    auto s = scenario::make_single_server(mode, 5001, {});
+    const auto before = s.vm->stack().netfilter().hook_traversals();
+    workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+    np.run_udp_rr(256, sim::milliseconds(50));
+    return s.vm->stack().netfilter().hook_traversals() - before;
+  };
+  const auto nat_hooks = count_guest_hooks(ServerMode::kNat);
+  const auto brf_hooks = count_guest_hooks(ServerMode::kBrFusion);
+  EXPECT_GT(nat_hooks, 1000u);  // several per transaction
+  EXPECT_EQ(brf_hooks, 0u);     // the VM stack is not on the path at all
+}
+
+TEST(RuleMonotonicity, MoreStandingRulesNeverHelpNat) {
+  double last = 1e18;
+  for (const int rules : {0, 12, 48}) {
+    scenario::TestbedConfig config;
+    config.costs.nf_standing_rules = rules;
+    auto s = scenario::make_single_server(ServerMode::kNat, 5001, config);
+    workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+    const double mbps =
+        np.run_tcp_stream(1280, sim::milliseconds(120)).throughput_mbps;
+    EXPECT_LT(mbps, last) << "rules=" << rules;
+    last = mbps;
+  }
+}
+
+TEST(CostMonotonicity, SlowerVhostNeverSpeedsUpStreams) {
+  double last = 0.0;
+  for (const double scale : {2.0, 1.0, 0.5}) {
+    scenario::TestbedConfig config;
+    config.costs.vhost_pkt =
+        static_cast<sim::Duration>(650 * scale);
+    config.costs.vhost_copy_byte = 0.09 * scale;
+    auto s = scenario::make_single_server(ServerMode::kNoCont, 5001, config);
+    workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+    const double mbps =
+        np.run_tcp_stream(1280, sim::milliseconds(120)).throughput_mbps;
+    EXPECT_GE(mbps, last) << "scale=" << scale;
+    last = mbps;
+  }
+}
+
+TEST(StackCounters, NoUnexplainedDropsOnHealthyPaths) {
+  auto s = scenario::make_single_server(ServerMode::kBrFusion, 5001, {});
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+  const auto rr = np.run_udp_rr(512, sim::milliseconds(50));
+  EXPECT_GT(rr.transactions, 100u);
+  // One trailing request may be parked when the measurement window closes;
+  // anything more indicates a datapath leak.
+  EXPECT_LE(s.server.stack->packets_dropped(), 2u);
+  EXPECT_EQ(s.server.stack->reassembly_failures(), 0u);
+}
+
+TEST(SeedInvariance, OrderingsHoldAcrossSeeds) {
+  for (const std::uint64_t seed : {7ull, 99ull}) {
+    scenario::TestbedConfig config;
+    config.seed = seed;
+    auto nat = scenario::make_single_server(ServerMode::kNat, 5001, config);
+    workload::Netperf np_nat(nat.bed->engine(), nat.client, nat.server, 5001);
+    const double nat_mbps =
+        np_nat.run_tcp_stream(1280, sim::milliseconds(100)).throughput_mbps;
+
+    auto brf =
+        scenario::make_single_server(ServerMode::kBrFusion, 5001, config);
+    workload::Netperf np_brf(brf.bed->engine(), brf.client, brf.server, 5001);
+    const double brf_mbps =
+        np_brf.run_tcp_stream(1280, sim::milliseconds(100)).throughput_mbps;
+
+    EXPECT_GT(brf_mbps, 2.0 * nat_mbps) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace nestv

@@ -1,0 +1,339 @@
+// Tests for the fig 9 cost simulation: AWS catalog (table 2), Kubernetes
+// whole-pod scheduler, Hostlo rescheduler and the synthetic trace.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "orch/cluster.hpp"
+#include "orch/pricing.hpp"
+#include "orch/scheduler.hpp"
+#include "trace/google_trace.hpp"
+
+namespace nestv::orch {
+namespace {
+
+// ---- Table 2 (verbatim from the paper) ----------------------------------------
+
+TEST(AwsCatalog, Table2Verbatim) {
+  AwsM5Catalog cat;
+  ASSERT_EQ(cat.models().size(), 6u);
+  const auto* large = cat.by_name("m5.large");
+  ASSERT_NE(large, nullptr);
+  EXPECT_EQ(large->vcpus, 2);
+  EXPECT_EQ(large->memory_gb, 8);
+  EXPECT_DOUBLE_EQ(large->cpu_rel, 0.0208);
+  EXPECT_DOUBLE_EQ(large->price_per_hour, 0.112);
+
+  const auto* x24 = cat.by_name("m5.24xlarge");
+  ASSERT_NE(x24, nullptr);
+  EXPECT_EQ(x24->vcpus, 96);
+  EXPECT_EQ(x24->memory_gb, 384);
+  EXPECT_DOUBLE_EQ(x24->cpu_rel, 1.0);
+  EXPECT_DOUBLE_EQ(x24->price_per_hour, 5.376);
+
+  EXPECT_DOUBLE_EQ(cat.by_name("m5.12xlarge")->price_per_hour, 2.689);
+  EXPECT_DOUBLE_EQ(cat.by_name("m5.4xlarge")->cpu_rel, 0.1667);
+}
+
+TEST(AwsCatalog, ModelsSortedByPrice) {
+  AwsM5Catalog cat;
+  for (std::size_t i = 1; i < cat.models().size(); ++i) {
+    EXPECT_LT(cat.models()[i - 1].price_per_hour,
+              cat.models()[i].price_per_hour);
+  }
+}
+
+TEST(AwsCatalog, CheapestFitting) {
+  AwsM5Catalog cat;
+  EXPECT_EQ(cat.cheapest_fitting(0.01, 0.01)->name, "m5.large");
+  EXPECT_EQ(cat.cheapest_fitting(0.05, 0.01)->name, "m5.2xlarge");
+  EXPECT_EQ(cat.cheapest_fitting(0.9, 0.9)->name, "m5.24xlarge");
+  EXPECT_EQ(cat.cheapest_fitting(1.5, 0.1), nullptr);
+}
+
+// ---- PlacedVm ---------------------------------------------------------------------
+
+TEST(PlacedVm, FitsWithTolerance) {
+  AwsM5Catalog cat;
+  PlacedVm vm{cat.by_name("m5.large"), 0.0, 0.0, {}};
+  EXPECT_TRUE(vm.fits(0.0208, 0.0208));  // exact fill
+  vm.add(0.0208, 0.0208, 1, 0);
+  EXPECT_FALSE(vm.fits(0.001, 0.001));
+}
+
+TEST(Placement, CostSumsModels) {
+  AwsM5Catalog cat;
+  Placement p;
+  p.vms.push_back(PlacedVm{cat.by_name("m5.large"), 0, 0, {}});
+  p.vms.push_back(PlacedVm{cat.by_name("m5.xlarge"), 0, 0, {}});
+  EXPECT_DOUBLE_EQ(p.cost_per_hour(), 0.112 + 0.224);
+}
+
+// ---- Kubernetes scheduler -------------------------------------------------------------
+
+UserWorkload one_pod_user(std::vector<ContainerDemand> demands) {
+  UserWorkload u;
+  u.user_id = 1;
+  PodSpec pod;
+  pod.pod_id = 1;
+  pod.containers = std::move(demands);
+  u.pods.push_back(std::move(pod));
+  return u;
+}
+
+TEST(KubernetesScheduler, BuysCheapestFittingForWholePod) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  // The paper's intro example: 6 vCPU + 24 GiB = 0.0625 cpu_rel, 0.0625
+  // mem_rel -> must buy an m5.2xlarge at $0.448/h.
+  const auto u = one_pod_user({{0.03, 0.03}, {0.0325, 0.0325}});
+  const auto placement = k8s.schedule(u);
+  ASSERT_EQ(placement.vms.size(), 1u);
+  EXPECT_EQ(placement.vms[0].model->name, "m5.2xlarge");
+  EXPECT_DOUBLE_EQ(placement.cost_per_hour(), 0.448);
+}
+
+TEST(KubernetesScheduler, GroupsPodsOnExistingVms) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  UserWorkload u;
+  u.user_id = 1;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    PodSpec pod;
+    pod.pod_id = i;
+    pod.containers = {{0.01, 0.01}};
+    u.pods.push_back(pod);
+  }
+  const auto placement = k8s.schedule(u);
+  // Four 0.01 pods fit one m5.large (0.0208)? No - two per large.
+  EXPECT_EQ(placement.vms.size(), 2u);
+}
+
+TEST(KubernetesScheduler, EveryContainerPlacedExactlyOnce) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  const auto users = trace::generate_google_like_trace({.seed = 5, .users = 20});
+  for (const auto& u : users) {
+    const auto placement = k8s.schedule(u);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> placed;
+    std::size_t expected = 0;
+    for (const auto& pod : u.pods) expected += pod.containers.size();
+    for (const auto& vm : placement.vms) {
+      for (const auto& item : vm.placed) {
+        EXPECT_TRUE(placed.insert(item).second) << "duplicate placement";
+      }
+    }
+    EXPECT_EQ(placed.size(), expected);
+  }
+}
+
+TEST(KubernetesScheduler, WholePodsNeverSplit) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  const auto users = trace::generate_google_like_trace({.seed = 6, .users = 20});
+  for (const auto& u : users) {
+    const auto placement = k8s.schedule(u);
+    // Map pod -> set of VMs hosting its containers.
+    std::map<std::uint32_t, std::set<const PlacedVm*>> pod_vms;
+    for (const auto& vm : placement.vms) {
+      for (const auto& [pod, c] : vm.placed) {
+        (void)c;
+        pod_vms[pod].insert(&vm);
+      }
+    }
+    for (const auto& [pod, vms] : pod_vms) {
+      EXPECT_EQ(vms.size(), 1u) << "pod " << pod << " split by k8s";
+    }
+  }
+}
+
+TEST(KubernetesScheduler, CapacityNeverExceeded) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  const auto users = trace::generate_google_like_trace({.seed = 7, .users = 30});
+  for (const auto& u : users) {
+    const auto placement = k8s.schedule(u);
+    for (const auto& vm : placement.vms) {
+      EXPECT_LE(vm.used_cpu, vm.model->cpu_rel + 1e-6);
+      EXPECT_LE(vm.used_mem, vm.model->mem_rel + 1e-6);
+    }
+  }
+}
+
+// ---- Hostlo rescheduler ----------------------------------------------------------------
+
+TEST(HostloRescheduler, SplitsThePapersIntroExample) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  HostloRescheduler hostlo(cat);
+  // 6 vCPU / 24 GiB pod: m5.2xlarge ($0.448) should become
+  // m5.large + m5.xlarge ($0.336) once containers may split.
+  const auto u = one_pod_user({{0.0208, 0.0208}, {0.0417, 0.0417}});
+  const auto base = k8s.schedule(u);
+  ASSERT_DOUBLE_EQ(base.cost_per_hour(), 0.448);
+  const auto improved = hostlo.improve(u, base);
+  EXPECT_DOUBLE_EQ(improved.cost_per_hour(), 0.112 + 0.224);
+}
+
+TEST(HostloRescheduler, NeverCostsMore) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  HostloRescheduler hostlo(cat);
+  const auto users = trace::generate_google_like_trace({.seed = 8, .users = 60});
+  for (const auto& u : users) {
+    const auto base = k8s.schedule(u);
+    const auto improved = hostlo.improve(u, base);
+    EXPECT_LE(improved.cost_per_hour(), base.cost_per_hour() + 1e-9);
+  }
+}
+
+TEST(HostloRescheduler, PreservesAllContainers) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  HostloRescheduler hostlo(cat);
+  const auto users = trace::generate_google_like_trace({.seed = 9, .users = 40});
+  for (const auto& u : users) {
+    const auto improved = hostlo.improve(u, k8s.schedule(u));
+    std::set<std::pair<std::uint32_t, std::uint32_t>> placed;
+    std::size_t expected = 0;
+    for (const auto& pod : u.pods) expected += pod.containers.size();
+    for (const auto& vm : improved.vms) {
+      for (const auto& item : vm.placed) {
+        EXPECT_TRUE(placed.insert(item).second);
+      }
+    }
+    EXPECT_EQ(placed.size(), expected);
+    for (const auto& vm : improved.vms) {
+      EXPECT_LE(vm.used_cpu, vm.model->cpu_rel + 1e-6);
+      EXPECT_LE(vm.used_mem, vm.model->mem_rel + 1e-6);
+    }
+  }
+}
+
+TEST(HostloRescheduler, EliminatesWastedVms) {
+  AwsM5Catalog cat;
+  HostloRescheduler hostlo(cat);
+  // Two pods, each on its own m5.large but jointly fitting one: the
+  // improvement pass must merge them.
+  UserWorkload u;
+  u.user_id = 1;
+  for (std::uint32_t i = 1; i <= 2; ++i) {
+    PodSpec pod;
+    pod.pod_id = i;
+    pod.containers = {{0.009, 0.009}};
+    u.pods.push_back(pod);
+  }
+  Placement base;
+  for (int i = 0; i < 2; ++i) {
+    PlacedVm vm{cat.by_name("m5.large"), 0, 0, {}};
+    vm.add(0.009, 0.009, static_cast<std::uint32_t>(i + 1), 0);
+    base.vms.push_back(vm);
+  }
+  const auto improved = hostlo.improve(u, base);
+  EXPECT_EQ(improved.vms.size(), 1u);
+}
+
+// ---- synthetic trace ----------------------------------------------------------------------
+
+TEST(GoogleTrace, DeterministicForSeed) {
+  const auto a = trace::generate_google_like_trace({.seed = 42, .users = 10});
+  const auto b = trace::generate_google_like_trace({.seed = 42, .users = 10});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].pods.size(), b[i].pods.size());
+    for (std::size_t p = 0; p < a[i].pods.size(); ++p) {
+      ASSERT_EQ(a[i].pods[p].containers.size(),
+                b[i].pods[p].containers.size());
+      for (std::size_t c = 0; c < a[i].pods[p].containers.size(); ++c) {
+        ASSERT_DOUBLE_EQ(a[i].pods[p].containers[c].cpu,
+                         b[i].pods[p].containers[c].cpu);
+      }
+    }
+  }
+}
+
+TEST(GoogleTrace, ShapeMatchesPublishedTrace) {
+  const auto users = trace::generate_google_like_trace({});
+  const auto s = trace::summarize(users);
+  EXPECT_EQ(s.users, 492);  // section 5.3.1's population
+  EXPECT_GT(s.pods, 1000u);
+  // Requests are small and right-skewed.
+  EXPECT_LT(s.mean_container_cpu, 0.08);
+  EXPECT_GT(s.max_container_cpu, 10 * s.mean_container_cpu);
+  // Heavy tail in pods-per-user.
+  EXPECT_GT(s.max_pods_per_user, 20 * s.mean_pods_per_user);
+}
+
+TEST(GoogleTrace, NoOversizedContainers) {
+  const auto users = trace::generate_google_like_trace({.seed = 3});
+  for (const auto& u : users) {
+    for (const auto& p : u.pods) {
+      for (const auto& c : p.containers) {
+        EXPECT_GT(c.cpu, 0.0);
+        EXPECT_GT(c.mem, 0.0);
+        EXPECT_LE(c.cpu, 0.9);
+        EXPECT_LE(c.mem, 0.9);
+      }
+    }
+  }
+}
+
+TEST(GoogleTrace, HeadlineSavingsShape) {
+  // The fig 9 headline: about a tenth of users save, most savers save more
+  // than 5%, and the best relative saving is large (tens of percent).
+  const auto users = trace::generate_google_like_trace({});
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  HostloRescheduler hostlo(cat);
+  int savers = 0, savers5 = 0;
+  double max_rel = 0.0;
+  for (const auto& u : users) {
+    const auto base = k8s.schedule(u);
+    const auto improved = hostlo.improve(u, base);
+    const SavingsRecord r{u.user_id, base.cost_per_hour(),
+                          improved.cost_per_hour()};
+    if (r.absolute_saving() > 1e-9) {
+      ++savers;
+      if (r.relative_saving() > 0.05) ++savers5;
+      max_rel = std::max(max_rel, r.relative_saving());
+    }
+  }
+  const double saver_frac = static_cast<double>(savers) / 492.0;
+  EXPECT_GT(saver_frac, 0.05);   // paper: 11.4%
+  EXPECT_LT(saver_frac, 0.25);
+  EXPECT_GT(static_cast<double>(savers5) / savers, 0.5);  // paper: 66.7%
+  EXPECT_GT(max_rel, 0.25);      // paper: ~40%
+  EXPECT_LE(max_rel, 0.75);
+}
+
+// ---- property sweep: rescheduler invariants over many seeds ------------------------------
+
+class ReschedulerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReschedulerSweep, InvariantsHold) {
+  AwsM5Catalog cat;
+  KubernetesScheduler k8s(cat);
+  HostloRescheduler hostlo(cat);
+  const auto users =
+      trace::generate_google_like_trace({.seed = GetParam(), .users = 25});
+  for (const auto& u : users) {
+    const auto base = k8s.schedule(u);
+    const auto improved = hostlo.improve(u, base);
+    ASSERT_LE(improved.cost_per_hour(), base.cost_per_hour() + 1e-9);
+    std::size_t base_items = 0, improved_items = 0;
+    for (const auto& vm : base.vms) base_items += vm.placed.size();
+    for (const auto& vm : improved.vms) {
+      improved_items += vm.placed.size();
+      ASSERT_LE(vm.used_cpu, vm.model->cpu_rel + 1e-6);
+      ASSERT_LE(vm.used_mem, vm.model->mem_rel + 1e-6);
+    }
+    ASSERT_EQ(base_items, improved_items);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReschedulerSweep,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull,
+                                           55ull, 66ull));
+
+}  // namespace
+}  // namespace nestv::orch

@@ -1,0 +1,288 @@
+// End-to-end integration tests: the paper's deployment scenarios driven by
+// the workload generators, asserting the qualitative results of section 5.
+// These are the heaviest tests; traffic windows are kept short.
+#include <gtest/gtest.h>
+
+#include "scenario/cross_vm.hpp"
+#include "scenario/single_server.hpp"
+#include "workload/apps.hpp"
+#include "workload/netperf.hpp"
+
+namespace nestv {
+namespace {
+
+using scenario::CrossVmMode;
+using scenario::ServerMode;
+
+struct MicroResult {
+  double rr_latency_us;
+  double stream_mbps;
+};
+
+MicroResult run_micro(ServerMode mode, std::uint32_t msg_bytes) {
+  auto s = scenario::make_single_server(mode, 5001, {});
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+  const auto rr = np.run_udp_rr(msg_bytes, sim::milliseconds(100));
+  const auto st = np.run_tcp_stream(msg_bytes, sim::milliseconds(150));
+  return {rr.mean_latency_us, st.throughput_mbps};
+}
+
+MicroResult run_cross(CrossVmMode mode, std::uint32_t msg_bytes) {
+  auto s = scenario::make_cross_vm(mode, 6001, {});
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 6001);
+  const auto rr = np.run_udp_rr(msg_bytes, sim::milliseconds(100));
+  const auto st = np.run_tcp_stream(msg_bytes, sim::milliseconds(150));
+  return {rr.mean_latency_us, st.throughput_mbps};
+}
+
+// ---- scenario construction -----------------------------------------------------
+
+TEST(SingleServer, AllModesDeploy) {
+  for (const auto mode :
+       {ServerMode::kNoCont, ServerMode::kNat, ServerMode::kBrFusion}) {
+    auto s = scenario::make_single_server(mode, 5001, {});
+    EXPECT_NE(s.server.stack, nullptr) << to_string(mode);
+    EXPECT_NE(s.client.stack, nullptr);
+    EXPECT_FALSE(s.server.service_ip.is_unspecified());
+    if (mode != ServerMode::kNoCont) {
+      EXPECT_GT(s.boot_duration, 0u);
+      EXPECT_NE(s.srv_container, nullptr);
+    }
+  }
+}
+
+TEST(SingleServer, NatServiceAddressIsTheVm) {
+  auto s = scenario::make_single_server(ServerMode::kNat, 5001, {});
+  // DNAT: the client dials the VM, the server binds 172.17.0.x.
+  EXPECT_NE(s.server.service_ip, s.server.local_ip);
+  EXPECT_TRUE(net::Ipv4Cidr(net::Ipv4Address(172, 17, 0, 0), 16)
+                  .contains(s.server.local_ip));
+}
+
+TEST(SingleServer, BrFusionServiceAddressIsThePod) {
+  auto s = scenario::make_single_server(ServerMode::kBrFusion, 5001, {});
+  EXPECT_EQ(s.server.service_ip, s.server.local_ip);
+}
+
+TEST(CrossVm, AllModesDeploy) {
+  for (const auto mode : {CrossVmMode::kSameNode, CrossVmMode::kHostlo,
+                          CrossVmMode::kNatCrossVm, CrossVmMode::kOverlay}) {
+    auto s = scenario::make_cross_vm(mode, 6001, {});
+    EXPECT_NE(s.client.stack, nullptr) << to_string(mode);
+    EXPECT_NE(s.server.stack, nullptr);
+  }
+}
+
+TEST(CrossVm, HostloPodIsCrossVm) {
+  auto s = scenario::make_cross_vm(CrossVmMode::kHostlo, 6001, {});
+  ASSERT_NE(s.pod, nullptr);
+  EXPECT_TRUE(s.pod->is_cross_vm());
+  EXPECT_NE(s.client.vm, s.server.vm);
+}
+
+TEST(CrossVm, SameNodeSharesOneNamespace) {
+  auto s = scenario::make_cross_vm(CrossVmMode::kSameNode, 6001, {});
+  EXPECT_EQ(s.client.stack, s.server.stack);
+  EXPECT_EQ(s.client.vm, s.server.vm);
+}
+
+// ---- fig 2 / fig 4 qualitative assertions ------------------------------------------
+
+TEST(Fig2Shape, NatDegradesThroughputHeavily) {
+  const auto nocont = run_micro(ServerMode::kNoCont, 1280);
+  const auto nat = run_micro(ServerMode::kNat, 1280);
+  // Paper: ~68% degradation; assert the band [50%, 85%].
+  const double degradation = 1.0 - nat.stream_mbps / nocont.stream_mbps;
+  EXPECT_GT(degradation, 0.50);
+  EXPECT_LT(degradation, 0.85);
+}
+
+TEST(Fig2Shape, NatInflatesLatencyModerately) {
+  const auto nocont = run_micro(ServerMode::kNoCont, 1280);
+  const auto nat = run_micro(ServerMode::kNat, 1280);
+  // Paper: ~31% increase; assert the band [15%, 60%].
+  const double ratio = nat.rr_latency_us / nocont.rr_latency_us;
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 1.60);
+}
+
+TEST(Fig4Shape, BrFusionMatchesNoCont) {
+  const auto nocont = run_micro(ServerMode::kNoCont, 1280);
+  const auto brf = run_micro(ServerMode::kBrFusion, 1280);
+  // Paper: within 3.5% of NoCont (throughput); allow 5%.
+  EXPECT_NEAR(brf.stream_mbps / nocont.stream_mbps, 1.0, 0.05);
+  EXPECT_NEAR(brf.rr_latency_us / nocont.rr_latency_us, 1.0, 0.10);
+}
+
+TEST(Fig4Shape, BrFusionBeatsNat) {
+  const auto nat = run_micro(ServerMode::kNat, 1280);
+  const auto brf = run_micro(ServerMode::kBrFusion, 1280);
+  EXPECT_GT(brf.stream_mbps, 2.0 * nat.stream_mbps);
+  EXPECT_LT(brf.rr_latency_us, nat.rr_latency_us);
+}
+
+TEST(Fig4Shape, NatStagnatesWithMessageSize) {
+  // "NAT scales more slowly and even stagnates between 1024B and 1280B"
+  // while NoCont keeps scaling.
+  const auto nat_1024 = run_micro(ServerMode::kNat, 1024);
+  const auto nat_1280 = run_micro(ServerMode::kNat, 1280);
+  const auto nocont_1024 = run_micro(ServerMode::kNoCont, 1024);
+  const auto nocont_1280 = run_micro(ServerMode::kNoCont, 1280);
+  const double nat_gain = nat_1280.stream_mbps / nat_1024.stream_mbps;
+  const double nocont_gain =
+      nocont_1280.stream_mbps / nocont_1024.stream_mbps;
+  EXPECT_LT(nat_gain, 1.10);               // flat
+  EXPECT_GT(nocont_gain, nat_gain - 0.02); // NoCont scales at least as well
+}
+
+// ---- fig 10 qualitative assertions ----------------------------------------------------
+
+TEST(Fig10Shape, LatencyOrdering) {
+  const auto same = run_cross(CrossVmMode::kSameNode, 1024);
+  const auto hostlo = run_cross(CrossVmMode::kHostlo, 1024);
+  const auto nat = run_cross(CrossVmMode::kNatCrossVm, 1024);
+  const auto overlay = run_cross(CrossVmMode::kOverlay, 1024);
+  // Paper fig 10 ordering: SameNode < Hostlo < NAT, Overlay.
+  EXPECT_LT(same.rr_latency_us, hostlo.rr_latency_us);
+  EXPECT_LT(hostlo.rr_latency_us, nat.rr_latency_us);
+  EXPECT_LT(hostlo.rr_latency_us, overlay.rr_latency_us);
+  // "Hostlo's latency is about twice SameNode's".
+  EXPECT_NEAR(hostlo.rr_latency_us / same.rr_latency_us, 2.0, 0.8);
+}
+
+TEST(Fig10Shape, ThroughputOrdering) {
+  const auto same = run_cross(CrossVmMode::kSameNode, 1024);
+  const auto hostlo = run_cross(CrossVmMode::kHostlo, 1024);
+  const auto nat = run_cross(CrossVmMode::kNatCrossVm, 1024);
+  const auto overlay = run_cross(CrossVmMode::kOverlay, 1024);
+  // "no solution reaches the performance level of SameNode".
+  EXPECT_GT(same.stream_mbps, 1.5 * overlay.stream_mbps);
+  EXPECT_GT(same.stream_mbps, 2.0 * hostlo.stream_mbps);
+  // Hostlo beats NAT; Overlay beats Hostlo (paper: +17.9% / -27%).
+  EXPECT_GT(hostlo.stream_mbps, nat.stream_mbps);
+  EXPECT_GT(overlay.stream_mbps, hostlo.stream_mbps);
+}
+
+TEST(Fig10Shape, HostloLatencyFlatAcrossSizes) {
+  // "Its latency remains stable across all message sizes".
+  auto s = scenario::make_cross_vm(CrossVmMode::kHostlo, 6001, {});
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 6001);
+  const auto small = np.run_udp_rr(64, sim::milliseconds(80));
+  const auto large = np.run_udp_rr(1408, sim::milliseconds(80));
+  EXPECT_LT(large.mean_latency_us / small.mean_latency_us, 1.35);
+}
+
+// ---- macro-benchmark harness smoke -----------------------------------------------------
+
+TEST(MacroWorkloads, MemcachedServesMix) {
+  auto s = scenario::make_single_server(ServerMode::kNoCont, 11211, {});
+  workload::MemcachedParams params;
+  params.client_threads = 2;
+  params.conns_per_thread = 8;
+  auto d = workload::deploy_memcached(s.client, s.server, 11211,
+                                      sim::Rng(1), params);
+  const auto r = d.closed_client->run(s.bed->engine(), sim::milliseconds(80));
+  EXPECT_GT(r.ops, 100u);
+  EXPECT_GT(r.mean_latency_us, 0.0);
+  EXPECT_EQ(d.server->ops_served(), r.ops);
+}
+
+TEST(MacroWorkloads, NginxHoldsTargetRate) {
+  auto s = scenario::make_single_server(ServerMode::kNoCont, 80, {});
+  workload::NginxParams params;
+  params.req_per_sec = 2000.0;
+  params.conns = 20;
+  auto d = workload::deploy_nginx(s.client, s.server, 80, sim::Rng(1),
+                                  params);
+  const auto r = d.open_client->run(s.bed->engine(), sim::milliseconds(200));
+  // Open loop at 2k/s for 200ms -> ~400 requests.
+  EXPECT_NEAR(static_cast<double>(r.ops), 400.0, 40.0);
+}
+
+TEST(MacroWorkloads, KafkaBatchesAtConfiguredRate) {
+  auto s = scenario::make_single_server(ServerMode::kNoCont, 9092, {});
+  workload::KafkaParams params;
+  const double batches = params.batches_per_sec();
+  EXPECT_NEAR(batches, 120000.0 * 100 / 8192, 1.0);
+  auto d = workload::deploy_kafka(s.client, s.server, 9092, sim::Rng(1),
+                                  params);
+  const auto r = d.open_client->run(s.bed->engine(), sim::milliseconds(200));
+  EXPECT_GT(r.ops, 200u);
+  EXPECT_GT(r.mean_latency_us, 0.0);
+}
+
+TEST(MacroWorkloads, BrFusionImprovesNatLatencyForKafka) {
+  auto run_kafka = [](ServerMode mode) {
+    auto s = scenario::make_single_server(mode, 9092, {});
+    workload::KafkaParams params;
+    auto d = workload::deploy_kafka(s.client, s.server, 9092, sim::Rng(1),
+                                    params);
+    return d.open_client->run(s.bed->engine(), sim::milliseconds(150));
+  };
+  const auto nat = run_kafka(ServerMode::kNat);
+  const auto brf = run_kafka(ServerMode::kBrFusion);
+  // Paper fig 5: BrFusion improves Kafka latency over NAT (~12%).
+  EXPECT_LT(brf.mean_latency_us, nat.mean_latency_us);
+}
+
+// ---- CPU accounting across a run (figs 6/7/14/15 machinery) ----------------------------
+
+TEST(CpuBreakdown, NatBurnsMoreGuestSoftirqThanBrFusion) {
+  auto run_and_soft = [](ServerMode mode) {
+    auto s = scenario::make_single_server(mode, 5001, {});
+    s.bed->machine().ledger().reset_all();
+    workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+    np.run_tcp_stream(1280, sim::milliseconds(100));
+    const auto* vm = s.bed->machine().ledger().find("vm/vm1");
+    return vm != nullptr ? vm->get(sim::CpuCategory::kSoft) : 0;
+  };
+  const auto nat_soft = run_and_soft(ServerMode::kNat);
+  const auto brf_soft = run_and_soft(ServerMode::kBrFusion);
+  // Section 5.2.3: BrFusion removes the netfilter hook execution; its
+  // softirq share must be drastically smaller.
+  EXPECT_LT(brf_soft, nat_soft / 2);
+}
+
+TEST(CpuBreakdown, HostGuestTimeTracked) {
+  auto s = scenario::make_single_server(ServerMode::kNoCont, 5001, {});
+  s.bed->machine().ledger().reset_all();
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
+  np.run_tcp_stream(1280, sim::milliseconds(100));
+  EXPECT_GT(s.bed->machine().host_account().get(sim::CpuCategory::kGuest),
+            0u);
+}
+
+// ---- determinism ---------------------------------------------------------------------------
+
+TEST(Determinism, IdenticalSeedsIdenticalResults) {
+  const auto a = run_micro(ServerMode::kNat, 512);
+  const auto b = run_micro(ServerMode::kNat, 512);
+  EXPECT_DOUBLE_EQ(a.rr_latency_us, b.rr_latency_us);
+  EXPECT_DOUBLE_EQ(a.stream_mbps, b.stream_mbps);
+}
+
+TEST(Determinism, DifferentSeedsDifferentBootNoise) {
+  scenario::TestbedConfig c1{.seed = 1};
+  scenario::TestbedConfig c2{.seed = 2};
+  auto s1 = scenario::make_single_server(ServerMode::kNat, 5001, c1);
+  auto s2 = scenario::make_single_server(ServerMode::kNat, 5001, c2);
+  EXPECT_NE(s1.boot_duration, s2.boot_duration);
+}
+
+// ---- property sweep: message-size monotonicity -----------------------------------------------
+
+class MsgSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MsgSizeSweep, BrFusionTracksNoContEverywhere) {
+  const auto msg = GetParam();
+  const auto nocont = run_micro(ServerMode::kNoCont, msg);
+  const auto brf = run_micro(ServerMode::kBrFusion, msg);
+  ASSERT_GT(nocont.stream_mbps, 0.0);
+  EXPECT_NEAR(brf.stream_mbps / nocont.stream_mbps, 1.0, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MsgSizeSweep,
+                         ::testing::Values(64u, 256u, 1024u, 1408u));
+
+}  // namespace
+}  // namespace nestv

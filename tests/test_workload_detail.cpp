@@ -1,0 +1,172 @@
+// Detailed tests of the workload harness: RPC framing, classifier
+// semantics, open-loop coordinated-omission accounting, and the table 1
+// parameter encodings.
+#include <gtest/gtest.h>
+
+#include "scenario/single_server.hpp"
+#include "workload/apps.hpp"
+#include "workload/netperf.hpp"
+
+namespace nestv::workload {
+namespace {
+
+// ---- classifiers ------------------------------------------------------------
+
+TEST(MemcachedClassifier, SetGetRatioIsOneToTen) {
+  const MemcachedParams params;
+  const auto classify = memcached_classifier(params);
+  int sets = 0;
+  const int n = 110000;
+  for (int i = 0; i < n; ++i) {
+    const auto spec = classify(40001, static_cast<std::uint64_t>(i));
+    if (spec.server_work == params.set_work) ++sets;
+  }
+  // One SET per 11 ops (SET:GET = 1:10).
+  EXPECT_NEAR(static_cast<double>(sets) / n, 1.0 / 11.0, 0.005);
+}
+
+TEST(MemcachedClassifier, DeterministicPerConnAndIndex) {
+  const auto classify = memcached_classifier({});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto a = classify(1234, i);
+    const auto b = classify(1234, i);
+    ASSERT_EQ(a.request_bytes, b.request_bytes);
+    ASSERT_EQ(a.response_bytes, b.response_bytes);
+  }
+}
+
+TEST(MemcachedClassifier, SetsCarryValueGetsReturnIt) {
+  const MemcachedParams params;
+  const auto classify = memcached_classifier(params);
+  bool saw_set = false, saw_get = false;
+  for (std::uint64_t i = 0; i < 200 && !(saw_set && saw_get); ++i) {
+    const auto spec = classify(7, i);
+    if (spec.server_work == params.set_work) {
+      saw_set = true;
+      EXPECT_GT(spec.request_bytes, params.value_bytes);  // value upstream
+      EXPECT_LT(spec.response_bytes, 32u);                // STORED
+    } else {
+      saw_get = true;
+      EXPECT_LT(spec.request_bytes, 64u);                 // key only
+      EXPECT_GT(spec.response_bytes, params.value_bytes); // value downstream
+    }
+  }
+  EXPECT_TRUE(saw_set);
+  EXPECT_TRUE(saw_get);
+}
+
+TEST(NginxClassifier, Serves1kbFilePlusHeaders) {
+  const NginxParams params;
+  const auto spec = nginx_classifier(params)(1, 0);
+  EXPECT_EQ(spec.response_bytes, params.file_bytes + params.resp_header_bytes);
+  EXPECT_EQ(params.file_bytes, 1024u);  // table 1: "1kB file"
+  EXPECT_EQ(params.conns, 100);         // table 1: "100 con. total"
+  EXPECT_EQ(params.client_threads, 2);  // table 1: "2 threads"
+  EXPECT_DOUBLE_EQ(params.req_per_sec, 10000.0);
+}
+
+TEST(KafkaClassifier, BatchRateMatchesTable1) {
+  const KafkaParams params;
+  EXPECT_DOUBLE_EQ(params.msgs_per_sec, 120000.0);
+  EXPECT_EQ(params.msg_bytes, 100u);
+  EXPECT_EQ(params.batch_bytes, 8192u);
+  EXPECT_NEAR(params.batches_per_sec(), 120000.0 * 100.0 / 8192.0, 1e-9);
+}
+
+TEST(MemtierParams, MatchTable1) {
+  const MemcachedParams params;
+  EXPECT_EQ(params.client_threads, 4);
+  EXPECT_EQ(params.conns_per_thread, 50);
+  EXPECT_EQ(params.set_every, 11);
+}
+
+// ---- RPC harness over a live scenario --------------------------------------
+
+struct RpcDetail : ::testing::Test {
+  scenario::SingleServer s =
+      scenario::make_single_server(scenario::ServerMode::kNoCont, 9000, {});
+};
+
+TEST_F(RpcDetail, ServerCountsEveryOp) {
+  MemcachedParams params;
+  params.client_threads = 1;
+  params.conns_per_thread = 4;
+  auto d = deploy_memcached(s.client, s.server, 9000, sim::Rng(1), params);
+  const auto r = d.closed_client->run(s.bed->engine(), sim::milliseconds(50));
+  EXPECT_GT(r.ops, 50u);
+  EXPECT_EQ(d.server->ops_served(), r.ops);
+}
+
+TEST_F(RpcDetail, ClosedLoopLatencyPercentilesOrdered) {
+  MemcachedParams params;
+  params.client_threads = 2;
+  params.conns_per_thread = 10;
+  auto d = deploy_memcached(s.client, s.server, 9000, sim::Rng(1), params);
+  const auto r = d.closed_client->run(s.bed->engine(), sim::milliseconds(60));
+  EXPECT_LE(r.p50_latency_us, r.p99_latency_us);
+  EXPECT_GT(r.mean_latency_us, 0.0);
+  EXPECT_LE(r.mean_latency_us, r.p99_latency_us);
+}
+
+TEST_F(RpcDetail, OpenLoopHitsConfiguredRate) {
+  NginxParams params;
+  params.req_per_sec = 4000.0;
+  params.conns = 16;
+  auto d = deploy_nginx(s.client, s.server, 9000, sim::Rng(1), params);
+  const auto r = d.open_client->run(s.bed->engine(), sim::milliseconds(250));
+  EXPECT_NEAR(r.ops_per_sec, 4000.0, 450.0);
+}
+
+TEST_F(RpcDetail, OpenLoopAccountsCoordinatedOmission) {
+  // A server stall must show up as tail latency measured from the
+  // *intended* arrival time, even though requests queue client-side.
+  NginxParams slow;
+  slow.req_per_sec = 3000.0;
+  slow.conns = 1;                  // single connection: stalls pile up
+  slow.server_work = 1000000;      // 1 ms per request > interarrival
+  slow.work_jitter_sigma = 0.0;
+  auto d = deploy_nginx(s.client, s.server, 9000, sim::Rng(1), slow);
+  const auto r = d.open_client->run(s.bed->engine(), sim::milliseconds(100));
+  // Interarrival is 333 us but service takes ~1 ms: wrk2-style accounting
+  // must report multi-millisecond tails, not flat ~1 ms.
+  EXPECT_GT(r.p99_latency_us, 5000.0);
+}
+
+TEST_F(RpcDetail, JitterIncreasesSpread) {
+  NginxParams calm;
+  calm.work_jitter_sigma = 0.0;
+  NginxParams noisy;
+  noisy.work_jitter_sigma = 1.0;
+  auto d1 = deploy_nginx(s.client, s.server, 9000, sim::Rng(1), calm);
+  const auto r1 = d1.open_client->run(s.bed->engine(), sim::milliseconds(120));
+  auto s2 =
+      scenario::make_single_server(scenario::ServerMode::kNoCont, 9001, {});
+  auto d2 = deploy_nginx(s2.client, s2.server, 9001, sim::Rng(1), noisy);
+  const auto r2 =
+      d2.open_client->run(s2.bed->engine(), sim::milliseconds(120));
+  EXPECT_GT(r2.stddev_latency_us, 1.2 * r1.stddev_latency_us);
+}
+
+// ---- Netperf details ---------------------------------------------------------
+
+TEST_F(RpcDetail, NetperfRrCountsMatchWindow) {
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 9000);
+  const auto rr = np.run_udp_rr(256, sim::milliseconds(100));
+  // Transactions * latency ~ window (closed loop, one outstanding).
+  const double implied_us =
+      static_cast<double>(rr.transactions) * rr.mean_latency_us;
+  EXPECT_NEAR(implied_us, 100000.0, 8000.0);
+}
+
+TEST_F(RpcDetail, NetperfStreamCountsOnlyDeliveredBytes) {
+  workload::Netperf np(s.bed->engine(), s.client, s.server, 9000);
+  const auto st = np.run_tcp_stream(1024, sim::milliseconds(100));
+  EXPECT_GT(st.bytes_delivered, 0u);
+  EXPECT_NEAR(st.throughput_mbps,
+              static_cast<double>(st.bytes_delivered) * 8.0 / 0.1 / 1e6,
+              1.0);
+  EXPECT_EQ(st.retransmits, 0u);  // lossless fabric
+}
+
+}  // namespace
+}  // namespace nestv::workload
