@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_conntrack.dir/abl_conntrack.cpp.o"
+  "CMakeFiles/abl_conntrack.dir/abl_conntrack.cpp.o.d"
+  "abl_conntrack"
+  "abl_conntrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_conntrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cwnd.dir/abl_cwnd.cpp.o"
+  "CMakeFiles/abl_cwnd.dir/abl_cwnd.cpp.o.d"
+  "abl_cwnd"
+  "abl_cwnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cwnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gro_rules.dir/abl_gro_rules.cpp.o"
+  "CMakeFiles/abl_gro_rules.dir/abl_gro_rules.cpp.o.d"
+  "abl_gro_rules"
+  "abl_gro_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gro_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

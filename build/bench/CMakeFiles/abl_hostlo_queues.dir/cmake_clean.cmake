@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hostlo_queues.dir/abl_hostlo_queues.cpp.o"
+  "CMakeFiles/abl_hostlo_queues.dir/abl_hostlo_queues.cpp.o.d"
+  "abl_hostlo_queues"
+  "abl_hostlo_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hostlo_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_mempipe.cpp" "bench/CMakeFiles/abl_mempipe.dir/abl_mempipe.cpp.o" "gcc" "bench/CMakeFiles/abl_mempipe.dir/abl_mempipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/nestv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/nestv_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nestv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/nestv_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/nestv_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nestv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

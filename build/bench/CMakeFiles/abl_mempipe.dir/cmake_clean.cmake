@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mempipe.dir/abl_mempipe.cpp.o"
+  "CMakeFiles/abl_mempipe.dir/abl_mempipe.cpp.o.d"
+  "abl_mempipe"
+  "abl_mempipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mempipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

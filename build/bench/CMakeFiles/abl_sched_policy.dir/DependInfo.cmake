@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_sched_policy.cpp" "bench/CMakeFiles/abl_sched_policy.dir/abl_sched_policy.cpp.o" "gcc" "bench/CMakeFiles/abl_sched_policy.dir/abl_sched_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orch/CMakeFiles/nestv_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nestv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sched_policy.dir/abl_sched_policy.cpp.o"
+  "CMakeFiles/abl_sched_policy.dir/abl_sched_policy.cpp.o.d"
+  "abl_sched_policy"
+  "abl_sched_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sched_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vhost.dir/abl_vhost.cpp.o"
+  "CMakeFiles/abl_vhost.dir/abl_vhost.cpp.o.d"
+  "abl_vhost"
+  "abl_vhost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vhost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

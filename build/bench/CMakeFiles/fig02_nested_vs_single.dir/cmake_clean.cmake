@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nested_vs_single.dir/fig02_nested_vs_single.cpp.o"
+  "CMakeFiles/fig02_nested_vs_single.dir/fig02_nested_vs_single.cpp.o.d"
+  "fig02_nested_vs_single"
+  "fig02_nested_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nested_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_nested_vs_single.
+# This may be replaced when dependencies are built.

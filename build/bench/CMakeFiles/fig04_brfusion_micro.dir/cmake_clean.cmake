@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_brfusion_micro.dir/fig04_brfusion_micro.cpp.o"
+  "CMakeFiles/fig04_brfusion_micro.dir/fig04_brfusion_micro.cpp.o.d"
+  "fig04_brfusion_micro"
+  "fig04_brfusion_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_brfusion_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_brfusion_macro.dir/fig05_brfusion_macro.cpp.o"
+  "CMakeFiles/fig05_brfusion_macro.dir/fig05_brfusion_macro.cpp.o.d"
+  "fig05_brfusion_macro"
+  "fig05_brfusion_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_brfusion_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cpu_kafka.dir/fig06_cpu_kafka.cpp.o"
+  "CMakeFiles/fig06_cpu_kafka.dir/fig06_cpu_kafka.cpp.o.d"
+  "fig06_cpu_kafka"
+  "fig06_cpu_kafka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cpu_kafka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

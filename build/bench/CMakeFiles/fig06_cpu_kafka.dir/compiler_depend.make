@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_cpu_kafka.
+# This may be replaced when dependencies are built.

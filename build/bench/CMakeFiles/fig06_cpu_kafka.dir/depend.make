@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_cpu_kafka.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_boot_time.dir/fig08_boot_time.cpp.o"
+  "CMakeFiles/fig08_boot_time.dir/fig08_boot_time.cpp.o.d"
+  "fig08_boot_time"
+  "fig08_boot_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_boot_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cost_savings.dir/fig09_cost_savings.cpp.o"
+  "CMakeFiles/fig09_cost_savings.dir/fig09_cost_savings.cpp.o.d"
+  "fig09_cost_savings"
+  "fig09_cost_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cost_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hostlo_micro.dir/fig10_hostlo_micro.cpp.o"
+  "CMakeFiles/fig10_hostlo_micro.dir/fig10_hostlo_micro.cpp.o.d"
+  "fig10_hostlo_micro"
+  "fig10_hostlo_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hostlo_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_hostlo_micro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_13_hostlo_macro.dir/fig11_13_hostlo_macro.cpp.o"
+  "CMakeFiles/fig11_13_hostlo_macro.dir/fig11_13_hostlo_macro.cpp.o.d"
+  "fig11_13_hostlo_macro"
+  "fig11_13_hostlo_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_13_hostlo_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_13_hostlo_macro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cpu_memcached.dir/fig14_cpu_memcached.cpp.o"
+  "CMakeFiles/fig14_cpu_memcached.dir/fig14_cpu_memcached.cpp.o.d"
+  "fig14_cpu_memcached"
+  "fig14_cpu_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cpu_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cpu_nginx.dir/fig15_cpu_nginx.cpp.o"
+  "CMakeFiles/fig15_cpu_nginx.dir/fig15_cpu_nginx.cpp.o.d"
+  "fig15_cpu_nginx"
+  "fig15_cpu_nginx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cpu_nginx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_aws_catalog.dir/tab02_aws_catalog.cpp.o"
+  "CMakeFiles/tab02_aws_catalog.dir/tab02_aws_catalog.cpp.o.d"
+  "tab02_aws_catalog"
+  "tab02_aws_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_aws_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

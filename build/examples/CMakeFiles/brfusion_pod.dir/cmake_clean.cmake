@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brfusion_pod.dir/brfusion_pod.cpp.o"
+  "CMakeFiles/brfusion_pod.dir/brfusion_pod.cpp.o.d"
+  "brfusion_pod"
+  "brfusion_pod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brfusion_pod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for brfusion_pod.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_and_ping.dir/capture_and_ping.cpp.o"
+  "CMakeFiles/capture_and_ping.dir/capture_and_ping.cpp.o.d"
+  "capture_and_ping"
+  "capture_and_ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_and_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for capture_and_ping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_bill.dir/cloud_bill.cpp.o"
+  "CMakeFiles/cloud_bill.dir/cloud_bill.cpp.o.d"
+  "cloud_bill"
+  "cloud_bill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_bill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

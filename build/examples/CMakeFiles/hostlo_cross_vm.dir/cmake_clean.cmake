@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostlo_cross_vm.dir/hostlo_cross_vm.cpp.o"
+  "CMakeFiles/hostlo_cross_vm.dir/hostlo_cross_vm.cpp.o.d"
+  "hostlo_cross_vm"
+  "hostlo_cross_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostlo_cross_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_container.dir/pod.cpp.o"
+  "CMakeFiles/nestv_container.dir/pod.cpp.o.d"
+  "CMakeFiles/nestv_container.dir/runtime.cpp.o"
+  "CMakeFiles/nestv_container.dir/runtime.cpp.o.d"
+  "libnestv_container.a"
+  "libnestv_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

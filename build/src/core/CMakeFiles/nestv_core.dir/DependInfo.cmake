@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cni.cpp" "src/core/CMakeFiles/nestv_core.dir/cni.cpp.o" "gcc" "src/core/CMakeFiles/nestv_core.dir/cni.cpp.o.d"
+  "/root/repo/src/core/docker_net.cpp" "src/core/CMakeFiles/nestv_core.dir/docker_net.cpp.o" "gcc" "src/core/CMakeFiles/nestv_core.dir/docker_net.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/core/CMakeFiles/nestv_core.dir/orchestrator.cpp.o" "gcc" "src/core/CMakeFiles/nestv_core.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/nestv_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/nestv_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/service.cpp" "src/core/CMakeFiles/nestv_core.dir/service.cpp.o" "gcc" "src/core/CMakeFiles/nestv_core.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/container/CMakeFiles/nestv_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/nestv_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nestv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_core.dir/cni.cpp.o"
+  "CMakeFiles/nestv_core.dir/cni.cpp.o.d"
+  "CMakeFiles/nestv_core.dir/docker_net.cpp.o"
+  "CMakeFiles/nestv_core.dir/docker_net.cpp.o.d"
+  "CMakeFiles/nestv_core.dir/orchestrator.cpp.o"
+  "CMakeFiles/nestv_core.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/nestv_core.dir/protocol.cpp.o"
+  "CMakeFiles/nestv_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/nestv_core.dir/service.cpp.o"
+  "CMakeFiles/nestv_core.dir/service.cpp.o.d"
+  "libnestv_core.a"
+  "libnestv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/nestv_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/bridge.cpp" "src/net/CMakeFiles/nestv_net.dir/bridge.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/bridge.cpp.o.d"
+  "/root/repo/src/net/device.cpp" "src/net/CMakeFiles/nestv_net.dir/device.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/device.cpp.o.d"
+  "/root/repo/src/net/netfilter.cpp" "src/net/CMakeFiles/nestv_net.dir/netfilter.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/netfilter.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/nestv_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/nestv_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/route.cpp" "src/net/CMakeFiles/nestv_net.dir/route.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/route.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/nestv_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/stack.cpp.o.d"
+  "/root/repo/src/net/tap.cpp" "src/net/CMakeFiles/nestv_net.dir/tap.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/tap.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/nestv_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/veth.cpp" "src/net/CMakeFiles/nestv_net.dir/veth.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/veth.cpp.o.d"
+  "/root/repo/src/net/vxlan.cpp" "src/net/CMakeFiles/nestv_net.dir/vxlan.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/vxlan.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/nestv_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/nestv_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_net.dir/address.cpp.o"
+  "CMakeFiles/nestv_net.dir/address.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/bridge.cpp.o"
+  "CMakeFiles/nestv_net.dir/bridge.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/device.cpp.o"
+  "CMakeFiles/nestv_net.dir/device.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/netfilter.cpp.o"
+  "CMakeFiles/nestv_net.dir/netfilter.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/packet.cpp.o"
+  "CMakeFiles/nestv_net.dir/packet.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/pcap.cpp.o"
+  "CMakeFiles/nestv_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/route.cpp.o"
+  "CMakeFiles/nestv_net.dir/route.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/stack.cpp.o"
+  "CMakeFiles/nestv_net.dir/stack.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/tap.cpp.o"
+  "CMakeFiles/nestv_net.dir/tap.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/tcp.cpp.o"
+  "CMakeFiles/nestv_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/veth.cpp.o"
+  "CMakeFiles/nestv_net.dir/veth.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/vxlan.cpp.o"
+  "CMakeFiles/nestv_net.dir/vxlan.cpp.o.d"
+  "CMakeFiles/nestv_net.dir/wire.cpp.o"
+  "CMakeFiles/nestv_net.dir/wire.cpp.o.d"
+  "libnestv_net.a"
+  "libnestv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orch/pricing.cpp" "src/orch/CMakeFiles/nestv_orch.dir/pricing.cpp.o" "gcc" "src/orch/CMakeFiles/nestv_orch.dir/pricing.cpp.o.d"
+  "/root/repo/src/orch/scheduler.cpp" "src/orch/CMakeFiles/nestv_orch.dir/scheduler.cpp.o" "gcc" "src/orch/CMakeFiles/nestv_orch.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

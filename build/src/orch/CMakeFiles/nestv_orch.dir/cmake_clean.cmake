@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_orch.dir/pricing.cpp.o"
+  "CMakeFiles/nestv_orch.dir/pricing.cpp.o.d"
+  "CMakeFiles/nestv_orch.dir/scheduler.cpp.o"
+  "CMakeFiles/nestv_orch.dir/scheduler.cpp.o.d"
+  "libnestv_orch.a"
+  "libnestv_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/cross_vm.cpp" "src/scenario/CMakeFiles/nestv_scenario.dir/cross_vm.cpp.o" "gcc" "src/scenario/CMakeFiles/nestv_scenario.dir/cross_vm.cpp.o.d"
+  "/root/repo/src/scenario/overlay.cpp" "src/scenario/CMakeFiles/nestv_scenario.dir/overlay.cpp.o" "gcc" "src/scenario/CMakeFiles/nestv_scenario.dir/overlay.cpp.o.d"
+  "/root/repo/src/scenario/single_server.cpp" "src/scenario/CMakeFiles/nestv_scenario.dir/single_server.cpp.o" "gcc" "src/scenario/CMakeFiles/nestv_scenario.dir/single_server.cpp.o.d"
+  "/root/repo/src/scenario/testbed.cpp" "src/scenario/CMakeFiles/nestv_scenario.dir/testbed.cpp.o" "gcc" "src/scenario/CMakeFiles/nestv_scenario.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nestv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/nestv_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmm/CMakeFiles/nestv_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nestv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_scenario.dir/cross_vm.cpp.o"
+  "CMakeFiles/nestv_scenario.dir/cross_vm.cpp.o.d"
+  "CMakeFiles/nestv_scenario.dir/overlay.cpp.o"
+  "CMakeFiles/nestv_scenario.dir/overlay.cpp.o.d"
+  "CMakeFiles/nestv_scenario.dir/single_server.cpp.o"
+  "CMakeFiles/nestv_scenario.dir/single_server.cpp.o.d"
+  "CMakeFiles/nestv_scenario.dir/testbed.cpp.o"
+  "CMakeFiles/nestv_scenario.dir/testbed.cpp.o.d"
+  "libnestv_scenario.a"
+  "libnestv_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

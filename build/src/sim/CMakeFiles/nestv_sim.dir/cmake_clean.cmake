@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/nestv_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/cpu.cpp.o"
+  "CMakeFiles/nestv_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/engine.cpp.o"
+  "CMakeFiles/nestv_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/nestv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/resource.cpp.o"
+  "CMakeFiles/nestv_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/rng.cpp.o"
+  "CMakeFiles/nestv_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/stats.cpp.o"
+  "CMakeFiles/nestv_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/nestv_sim.dir/time.cpp.o"
+  "CMakeFiles/nestv_sim.dir/time.cpp.o.d"
+  "libnestv_sim.a"
+  "libnestv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnestv_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_storage.dir/virtfs.cpp.o"
+  "CMakeFiles/nestv_storage.dir/virtfs.cpp.o.d"
+  "libnestv_storage.a"
+  "libnestv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

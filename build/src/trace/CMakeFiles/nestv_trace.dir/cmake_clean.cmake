@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_trace.dir/google_trace.cpp.o"
+  "CMakeFiles/nestv_trace.dir/google_trace.cpp.o.d"
+  "libnestv_trace.a"
+  "libnestv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

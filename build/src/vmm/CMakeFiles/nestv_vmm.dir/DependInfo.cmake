@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/datacenter.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/datacenter.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/datacenter.cpp.o.d"
+  "/root/repo/src/vmm/hostlo_tap.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/hostlo_tap.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/hostlo_tap.cpp.o.d"
+  "/root/repo/src/vmm/machine.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/machine.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/machine.cpp.o.d"
+  "/root/repo/src/vmm/mempipe.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/mempipe.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/mempipe.cpp.o.d"
+  "/root/repo/src/vmm/qmp.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/qmp.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/qmp.cpp.o.d"
+  "/root/repo/src/vmm/virtio.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/virtio.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/virtio.cpp.o.d"
+  "/root/repo/src/vmm/vm.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/vm.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/vm.cpp.o.d"
+  "/root/repo/src/vmm/vmm.cpp" "src/vmm/CMakeFiles/nestv_vmm.dir/vmm.cpp.o" "gcc" "src/vmm/CMakeFiles/nestv_vmm.dir/vmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/nestv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nestv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

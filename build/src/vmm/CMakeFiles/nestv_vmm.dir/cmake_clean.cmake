@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_vmm.dir/datacenter.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/datacenter.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/hostlo_tap.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/hostlo_tap.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/machine.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/machine.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/mempipe.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/mempipe.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/qmp.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/qmp.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/virtio.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/virtio.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/vm.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/vm.cpp.o.d"
+  "CMakeFiles/nestv_vmm.dir/vmm.cpp.o"
+  "CMakeFiles/nestv_vmm.dir/vmm.cpp.o.d"
+  "libnestv_vmm.a"
+  "libnestv_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

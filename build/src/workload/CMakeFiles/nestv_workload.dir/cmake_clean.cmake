@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestv_workload.dir/apps.cpp.o"
+  "CMakeFiles/nestv_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/nestv_workload.dir/netperf.cpp.o"
+  "CMakeFiles/nestv_workload.dir/netperf.cpp.o.d"
+  "CMakeFiles/nestv_workload.dir/rpc.cpp.o"
+  "CMakeFiles/nestv_workload.dir/rpc.cpp.o.d"
+  "libnestv_workload.a"
+  "libnestv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_core.dir/test_container_core.cpp.o"
+  "CMakeFiles/test_container_core.dir/test_container_core.cpp.o.d"
+  "test_container_core"
+  "test_container_core.pdb"
+  "test_container_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

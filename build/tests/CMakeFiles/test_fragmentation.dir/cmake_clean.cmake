@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fragmentation.dir/test_fragmentation.cpp.o"
+  "CMakeFiles/test_fragmentation.dir/test_fragmentation.cpp.o.d"
+  "test_fragmentation"
+  "test_fragmentation.pdb"
+  "test_fragmentation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_basic.dir/test_net_basic.cpp.o"
+  "CMakeFiles/test_net_basic.dir/test_net_basic.cpp.o.d"
+  "test_net_basic"
+  "test_net_basic.pdb"
+  "test_net_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

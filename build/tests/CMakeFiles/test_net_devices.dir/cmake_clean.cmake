@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_devices.dir/test_net_devices.cpp.o"
+  "CMakeFiles/test_net_devices.dir/test_net_devices.cpp.o.d"
+  "test_net_devices"
+  "test_net_devices.pdb"
+  "test_net_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_stack.dir/test_net_stack.cpp.o"
+  "CMakeFiles/test_net_stack.dir/test_net_stack.cpp.o.d"
+  "test_net_stack"
+  "test_net_stack.pdb"
+  "test_net_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_workload.dir/test_scenario_workload.cpp.o"
+  "CMakeFiles/test_scenario_workload.dir/test_scenario_workload.cpp.o.d"
+  "test_scenario_workload"
+  "test_scenario_workload.pdb"
+  "test_scenario_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

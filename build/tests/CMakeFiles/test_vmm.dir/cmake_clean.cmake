@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmm.dir/test_vmm.cpp.o"
+  "CMakeFiles/test_vmm.dir/test_vmm.cpp.o.d"
+  "test_vmm"
+  "test_vmm.pdb"
+  "test_vmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

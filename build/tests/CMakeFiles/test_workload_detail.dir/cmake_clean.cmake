@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_detail.dir/test_workload_detail.cpp.o"
+  "CMakeFiles/test_workload_detail.dir/test_workload_detail.cpp.o.d"
+  "test_workload_detail"
+  "test_workload_detail.pdb"
+  "test_workload_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_net_devices[1]_include.cmake")
+include("/root/repo/build/tests/test_net_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_vmm[1]_include.cmake")
+include("/root/repo/build/tests/test_container_core[1]_include.cmake")
+include("/root/repo/build/tests/test_orch_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_fragmentation[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_detail[1]_include.cmake")
+include("/root/repo/build/tests/test_datacenter[1]_include.cmake")
+include("/root/repo/build/tests/test_invariants[1]_include.cmake")
