@@ -38,11 +38,22 @@ int main(int argc, char** argv) {
               100.0 * (without_gro / with_gro - 1.0));
 
   std::printf("\n(b) standing netfilter rules (guest chains):\n");
+  double mbps_0 = 0, mbps_64 = 0;
   for (const int rules : {0, 6, 16, 32, 64}) {
     const double mbps = nat_stream(seed, true, rules);
     std::printf("    %3d rules: %7.0f Mbps\n", rules, mbps);
+    if (rules == 0) mbps_0 = mbps;
+    if (rules == 64) mbps_64 = mbps;
   }
   std::printf("\nexpectation: throughput falls monotonically with rule "
               "count; GRO-off costs the pod the coalescing win.\n");
+  nestv::bench::JsonReport report("abl_gro_rules", seed);
+  report.add("nat_stream_mbps_gro_on", with_gro);
+  report.add("nat_stream_mbps_gro_off", without_gro);
+  report.add("gro_off_delta_pct", 100.0 * (without_gro / with_gro - 1.0));
+  report.add("nat_stream_mbps_0_rules", mbps_0);
+  report.add("nat_stream_mbps_64_rules", mbps_64);
+  report.add("rules_64_vs_0_delta_pct", 100.0 * (mbps_64 / mbps_0 - 1.0));
+  report.write();
   return 0;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   std::printf("%6s | %10s | %14s | %14s\n", "VMs", "rr lat us",
               "host-mod cores", "drops@endpoints");
 
+  double lat_first = 0, lat_last = 0, cores_first = 0, cores_last = 0;
   for (const int vms : {2, 3, 4, 6, 8}) {
     scenario::TestbedConfig config;
     config.seed = seed;
@@ -61,13 +62,28 @@ int main(int argc, char** argv) {
       bystander_drops +=
           pod.fragments()[static_cast<std::size_t>(i)]->stack->packets_dropped();
     }
+    const double cores = kworkers != nullptr
+                             ? kworkers->cores(sim::CpuCategory::kSys, wall)
+                             : 0.0;
     std::printf("%6d | %10.1f | %14.3f | %14llu\n", vms, rr.mean_latency_us,
-                kworkers != nullptr
-                    ? kworkers->cores(sim::CpuCategory::kSys, wall)
-                    : 0.0,
-                static_cast<unsigned long long>(bystander_drops));
+                cores, static_cast<unsigned long long>(bystander_drops));
+    if (vms == 2) {
+      lat_first = rr.mean_latency_us;
+      cores_first = cores;
+    }
+    if (vms == 8) {
+      lat_last = rr.mean_latency_us;
+      cores_last = cores;
+    }
   }
   std::printf("\nexpectation: latency and host-module CPU grow with the "
               "fan-out; bystander guests pay the MAC-filter cost.\n");
+  bench::JsonReport report("abl_hostlo_queues", seed);
+  report.add("rr_latency_us_2vms", lat_first);
+  report.add("rr_latency_us_8vms", lat_last);
+  report.add("latency_growth_ratio_8_over_2", lat_last / lat_first);
+  report.add("host_module_cores_2vms", cores_first);
+  report.add("host_module_cores_8vms", cores_last);
+  report.write();
   return 0;
 }

@@ -105,5 +105,14 @@ int main(int argc, char** argv) {
                                         : "present");
   std::printf("the price: point-to-point only, no queue multiplexing, no "
               "isolation (section 4.3.2's objection).\n");
+  nestv::bench::JsonReport report("abl_mempipe", seed);
+  report.add("hostlo_rr_latency_us_1024B", hostlo.rr_us);
+  report.add("mempipe_rr_latency_us_1024B", mempipe.rr_us);
+  report.add("mempipe_vs_hostlo_latency_pct",
+             100.0 * (mempipe.rr_us / hostlo.rr_us - 1.0));
+  report.add("mempipe_over_hostlo_stream_ratio",
+             mempipe.stream_mbps / hostlo.stream_mbps);
+  report.add("mempipe_host_kernel_cores", mempipe.host_module_cores);
+  report.write();
   return 0;
 }

@@ -4,7 +4,9 @@
 // section 5.3.1); this sweep shows why: spreading policies buy more VMs,
 // inflating the baseline — and leaving *more* waste for Hostlo to reclaim.
 #include <cstdio>
+#include <cstdlib>
 
+#include "json_report.hpp"
 #include "orch/scheduler.hpp"
 #include "trace/google_trace.hpp"
 
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   std::printf("ablation: placement policy vs fleet cost (492 users)\n");
   std::printf("%-16s | %12s | %12s | %10s | %8s\n", "policy", "k8s $/h",
               "hostlo $/h", "reclaimed", "savers");
+  bench::JsonReport report("abl_sched_policy", seed);
   for (const auto policy : {orch::PlacementPolicy::kMostRequested,
                             orch::PlacementPolicy::kLeastRequested,
                             orch::PlacementPolicy::kFirstFit}) {
@@ -37,6 +40,11 @@ int main(int argc, char** argv) {
     std::printf("%-16s | %12.2f | %12.2f | %9.1f%% | %8d\n",
                 to_string(policy), base_total, improved_total,
                 100.0 * (1.0 - improved_total / base_total), savers);
+    const std::string key = to_string(policy);
+    report.add(key + "_k8s_cost_per_hour", base_total);
+    report.add(key + "_reclaimed_pct",
+               100.0 * (1.0 - improved_total / base_total));
   }
+  report.write();
   return 0;
 }

@@ -35,5 +35,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nvhost gain: %.2fx throughput, %.1f%% lower latency\n",
               tput[0] / tput[1], 100.0 * (1.0 - lat[0] / lat[1]));
+  bench::JsonReport report("abl_vhost", seed);
+  report.add("vhost_stream_mbps_1280B", tput[0]);
+  report.add("qemu_stream_mbps_1280B", tput[1]);
+  report.add("vhost_throughput_gain_ratio", tput[0] / tput[1]);
+  report.add("vhost_latency_reduction_pct",
+             100.0 * (1.0 - lat[0] / lat[1]));
+  report.write();
   return 0;
 }

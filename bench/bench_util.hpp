@@ -5,11 +5,13 @@
 // the paper's reported numbers.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "json_report.hpp"
 #include "scenario/cross_vm.hpp"
 #include "scenario/single_server.hpp"
 #include "sim/cpu.hpp"

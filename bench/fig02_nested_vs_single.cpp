@@ -28,10 +28,17 @@ int main(int argc, char** argv) {
       nat_1280_lat = nat.latency_us;
     }
   }
+  const double degr = 100.0 * (1.0 - nat_1280_tput / nocont_1280_tput);
+  const double lat_inc = 100.0 * (nat_1280_lat / nocont_1280_lat - 1.0);
   std::printf(
       "\nheadline @1280B: throughput degradation %.1f%% (paper ~68%%), "
       "latency increase %.1f%% (paper ~31%%)\n",
-      100.0 * (1.0 - nat_1280_tput / nocont_1280_tput),
-      100.0 * (nat_1280_lat / nocont_1280_lat - 1.0));
+      degr, lat_inc);
+  bench::JsonReport report("fig02_nested_vs_single", seed);
+  report.add("nocont_stream_mbps_1280B", nocont_1280_tput);
+  report.add("nat_stream_mbps_1280B", nat_1280_tput);
+  report.add("nat_throughput_degradation_pct_1280B", degr, 68.0);
+  report.add("nat_latency_increase_pct_1280B", lat_inc, 31.0);
+  report.write();
   return 0;
 }

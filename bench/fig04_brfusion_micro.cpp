@@ -49,5 +49,14 @@ int main(int argc, char** argv) {
       brf_1280 / nat_1280, 100.0 * (brf_1280 / nocont_1280 - 1.0),
       100.0 * (brf_lat_1280 / nat_lat_1280 - 1.0),
       100.0 * (nat_1280 / nat_1024 - 1.0));
+  bench::JsonReport report("fig04_brfusion_micro", seed);
+  report.add("brfusion_over_nat_stream_ratio_1280B", brf_1280 / nat_1280, 2.1);
+  report.add("brfusion_vs_nocont_stream_pct_1280B",
+             100.0 * (brf_1280 / nocont_1280 - 1.0));
+  report.add("brfusion_vs_nat_latency_pct_1280B",
+             100.0 * (brf_lat_1280 / nat_lat_1280 - 1.0), -18.4);
+  report.add("nat_1024_to_1280_scaling_pct",
+             100.0 * (nat_1280 / nat_1024 - 1.0));
+  report.write();
   return 0;
 }

@@ -47,5 +47,13 @@ int main(int argc, char** argv) {
       "nginx: BrFusion latency vs NAT %+.1f%% (paper: -30.1%%); large "
       "stdev expected for both (app-level noise)\n",
       100.0 * (nginx_lat[2] / nginx_lat[1] - 1.0));
+  bench::JsonReport report("fig05_brfusion_macro", seed);
+  report.add("kafka_brfusion_vs_nat_latency_pct",
+             100.0 * (kafka_lat[2] / kafka_lat[1] - 1.0), -11.8);
+  report.add("kafka_brfusion_vs_nocont_latency_pct",
+             100.0 * (kafka_lat[2] / kafka_lat[0] - 1.0), 13.1);
+  report.add("nginx_brfusion_vs_nat_latency_pct",
+             100.0 * (nginx_lat[2] / nginx_lat[1] - 1.0), -30.1);
+  report.write();
   return 0;
 }

@@ -34,5 +34,13 @@ int main(int argc, char** argv) {
         "soft-interrupt time)\n",
         100.0 * (soft[2] / soft[1] - 1.0));
   }
+  bench::JsonReport report("fig06_cpu_kafka", seed);
+  report.add("vm_softirq_cores_nat", soft[1]);
+  report.add("vm_softirq_cores_brfusion", soft[2]);
+  if (soft[1] > 0) {
+    report.add("brfusion_vs_nat_softirq_pct",
+               100.0 * (soft[2] / soft[1] - 1.0), -67.0);
+  }
+  report.write();
   return 0;
 }

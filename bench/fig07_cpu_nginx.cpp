@@ -30,5 +30,13 @@ int main(int argc, char** argv) {
     std::printf("VM softirq: BrFusion vs NAT = %+.1f%% (paper: large cut)\n",
                 100.0 * (soft[2] / soft[1] - 1.0));
   }
+  bench::JsonReport report("fig07_cpu_nginx", seed);
+  report.add("vm_softirq_cores_nat", soft[1]);
+  report.add("vm_softirq_cores_brfusion", soft[2]);
+  if (soft[1] > 0) {
+    report.add("brfusion_vs_nat_softirq_pct",
+               100.0 * (soft[2] / soft[1] - 1.0));
+  }
+  report.write();
   return 0;
 }

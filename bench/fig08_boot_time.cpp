@@ -89,5 +89,11 @@ int main(int argc, char** argv) {
   std::printf("\nBrFusion faster in %d%% of paired runs "
               "(paper: ~75%% of runs slightly better)\n",
               better * 100 / kRuns);
+  bench::JsonReport report("fig08_boot_time", seed);
+  report.add("nat_median_boot_ms", bn.median);
+  report.add("brfusion_median_boot_ms", bb.median);
+  report.add("brfusion_faster_fraction_pct",
+             static_cast<double>(better * 100 / kRuns), 75.0);
+  report.write();
   return 0;
 }

@@ -71,5 +71,15 @@ int main(int argc, char** argv) {
   std::printf("fleet-wide             : $%.2f/h -> $%.2f/h (-%.1f%%)\n",
               total_k8s, total_hostlo,
               100.0 * (1.0 - total_hostlo / total_k8s));
+  bench::JsonReport report("fig09_cost_savings", seed);
+  report.add("users_saving_pct",
+             100.0 * savers / static_cast<double>(records.size()), 11.4);
+  report.add("savers_above_5pct_pct",
+             savers ? 100.0 * savers5 / savers : 0.0, 66.7);
+  report.add("max_relative_saving_pct", 100.0 * max_rel, 40.0);
+  report.add("max_absolute_saving_usd_per_hour", max_abs);
+  report.add("fleet_saving_pct",
+             100.0 * (1.0 - total_hostlo / total_k8s));
+  report.write();
   return 0;
 }

@@ -54,5 +54,19 @@ int main(int argc, char** argv) {
   std::printf("Hostlo latency spread across sizes: %.1f .. %.1f us "
               "(paper: 'remains stable across all message sizes')\n",
               hostlo_lat_min, hostlo_lat_max);
+  bench::JsonReport report("fig10_hostlo_micro", seed);
+  report.add("hostlo_vs_nat_stream_pct_1024B",
+             100.0 * (tput_1024[1] / tput_1024[2] - 1.0), 17.9);
+  report.add("hostlo_vs_overlay_stream_pct_1024B",
+             100.0 * (tput_1024[1] / tput_1024[3] - 1.0), -27.0);
+  report.add("samenode_over_hostlo_stream_ratio_1024B",
+             tput_1024[0] / tput_1024[1], 5.3);
+  report.add("hostlo_vs_nat_latency_pct_1024B",
+             100.0 * (lat_1024[1] / lat_1024[2] - 1.0), -87.3);
+  report.add("hostlo_vs_overlay_latency_pct_1024B",
+             100.0 * (lat_1024[1] / lat_1024[3] - 1.0), -89.8);
+  report.add("hostlo_over_samenode_latency_ratio_1024B",
+             lat_1024[1] / lat_1024[0], 2.0);
+  report.write();
   return 0;
 }

@@ -47,5 +47,15 @@ int main(int argc, char** argv) {
   std::printf("memcached: Hostlo latency vs SameNode %+.1f%% (paper: "
               "reaches SameNode's level)\n",
               100.0 * (mc_lat[1] / mc_lat[0] - 1.0));
+  bench::JsonReport report("fig11_13_hostlo_macro", seed);
+  report.add("nginx_hostlo_vs_samenode_latency_pct",
+             100.0 * (nginx_lat[1] / nginx_lat[0] - 1.0), 49.4);
+  report.add("nginx_hostlo_vs_nat_latency_pct",
+             100.0 * (nginx_lat[1] / nginx_lat[2] - 1.0));
+  report.add("nginx_hostlo_vs_overlay_latency_pct",
+             100.0 * (nginx_lat[1] / nginx_lat[3] - 1.0));
+  report.add("memcached_hostlo_vs_samenode_latency_pct",
+             100.0 * (mc_lat[1] / mc_lat[0] - 1.0));
+  report.write();
   return 0;
 }

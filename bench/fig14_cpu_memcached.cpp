@@ -39,5 +39,12 @@ int main(int argc, char** argv) {
               "Hostlo %.2f, NAT %.2f, Overlay %.2f cores [paper: ~1.68 "
               "cores, similar across the three]\n",
               kworkers[1], kworkers[2], kworkers[3]);
+  bench::JsonReport report("fig14_cpu_memcached", seed);
+  report.add("hostlo_vs_samenode_guest_time_pct",
+             100.0 * (guest_time[1] / guest_time[0] - 1.0), 89.8);
+  report.add("hostlo_kworker_cores", kworkers[1], 1.68);
+  report.add("nat_kworker_cores", kworkers[2], 1.68);
+  report.add("overlay_kworker_cores", kworkers[3], 1.68);
+  report.write();
   return 0;
 }

@@ -29,5 +29,9 @@ int main(int argc, char** argv) {
   }
   std::printf("host guest-time: Hostlo vs SameNode %+.1f%% [paper +36.9%%]\n",
               100.0 * (guest_time[1] / guest_time[0] - 1.0));
+  bench::JsonReport report("fig15_cpu_nginx", seed);
+  report.add("hostlo_vs_samenode_guest_time_pct",
+             100.0 * (guest_time[1] / guest_time[0] - 1.0), 36.9);
+  report.write();
   return 0;
 }

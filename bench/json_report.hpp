@@ -1,0 +1,87 @@
+// Machine-readable bench output: every bench writes BENCH_<name>.json
+// next to its stdout table so CI and EXPERIMENTS.md tooling can diff the
+// reproduced metrics against the paper's targets without scraping text.
+//
+// Standalone (stdio only) so benches that do not link the workload layer
+// (tab02_aws_catalog, abl_sched_policy, abl_conntrack) can include it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nestv::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name, std::uint64_t seed = 42)
+      : name_(std::move(bench_name)), seed_(seed) {}
+
+  ~JsonReport() {
+    if (!written_) write();
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  /// Records one metric; pass `paper_target` (NaN = none) to also record
+  /// the paper's reported number and the relative deviation from it.
+  void add(const std::string& metric, double value,
+           double paper_target = std::nan("")) {
+    metrics_.push_back(Metric{metric, value, paper_target});
+  }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void write() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n",
+                 name_.c_str(), static_cast<unsigned long long>(seed_));
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %s",
+                   m.name.c_str(), number(m.value).c_str());
+      if (!std::isnan(m.target)) {
+        std::fprintf(f, ", \"paper_target\": %s", number(m.target).c_str());
+        if (m.target != 0.0) {
+          std::fprintf(f, ", \"deviation_pct\": %s",
+                       number(100.0 * (m.value - m.target) / m.target).c_str());
+        }
+      }
+      std::fprintf(f, "}%s\n", i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    double target = std::nan("");
+  };
+
+  /// JSON has no NaN/Inf literals; clamp those to null.
+  static std::string number(double v) {
+    if (std::isnan(v) || std::isinf(v)) return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<Metric> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace nestv::bench

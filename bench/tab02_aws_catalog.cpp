@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "json_report.hpp"
 #include "orch/pricing.hpp"
 
 int main() {
@@ -32,5 +33,9 @@ int main() {
   }
   std::printf("\nrelative columns consistent with absolute specs: %s\n",
               consistent ? "yes" : "NO");
+  nestv::bench::JsonReport report("tab02_aws_catalog");
+  report.add("catalog_models", static_cast<double>(catalog.models().size()));
+  report.add("relative_columns_consistent", consistent ? 1.0 : 0.0, 1.0);
+  report.write();
   return consistent ? 0 : 1;
 }

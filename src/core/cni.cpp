@@ -63,6 +63,26 @@ void BridgeNatCni::attach(
   });
 }
 
+// ---- FlowCacheCni -----------------------------------------------------------
+
+void FlowCacheCni::attach(
+    container::Pod::Fragment& fragment, const Options& options,
+    std::function<void(container::Runtime::AttachOutcome)> done) {
+  assert(fragment.vm != nullptr);
+  vmm::Vm& vm = *fragment.vm;
+  container::Pod::Fragment* frag = &fragment;
+  BridgeNatCni::attach(
+      fragment, options,
+      [&vm, frag, done = std::move(done)](
+          container::Runtime::AttachOutcome outcome) {
+        // Same nested wiring as NAT; flip on the fast-path cache in both
+        // the forwarding guest stack and the pod's own stack.
+        vm.stack().set_flowcache(true);
+        frag->stack->set_flowcache(true);
+        done(outcome);
+      });
+}
+
 // ---- BrFusionCni ------------------------------------------------------------
 
 BrFusionCni::BrFusionCni(OrchVmmChannel& channel, sim::Rng rng,
@@ -99,6 +119,16 @@ void BrFusionCni::attach(
           done(container::Runtime::AttachOutcome{true, ifindex, cfg.ip});
         });
       });
+}
+
+void BrFusionCni::detach(container::Pod::Fragment& fragment, int ifindex,
+                         std::function<void()> done) {
+  assert(fragment.vm != nullptr);
+  const auto mac = fragment.stack->iface_mac(ifindex);
+  // Guest side first: the netdev disappears from the namespace, dropping
+  // parked packets and exactly the cached flows through this ifindex.
+  fragment.stack->detach_interface(ifindex);
+  channel_->release_nic(*fragment.vm, mac, std::move(done));
 }
 
 // ---- HostloCni --------------------------------------------------------------

@@ -66,6 +66,23 @@ class BridgeNatCni : public Cni {
   std::map<vmm::Vm*, std::unique_ptr<GuestDockerNetwork>> networks_;
 };
 
+/// The NAT datapath with the per-flow fast-path cache enabled
+/// (src/net/flowcache): identical wiring to BridgeNatCni, but the guest
+/// stack memoizes each established flow's hook/route/ARP outcome so later
+/// packets take a single cached hop.  The "NAT+FlowCache" datapath mode.
+class FlowCacheCni : public BridgeNatCni {
+ public:
+  using BridgeNatCni::BridgeNatCni;
+
+  [[nodiscard]] const char* cni_name() const override {
+    return "bridge-nat-flowcache";
+  }
+
+  void attach(container::Pod::Fragment& fragment, const Options& options,
+              std::function<void(container::Runtime::AttachOutcome)> done)
+      override;
+};
+
 /// Section 3: fused networking.  The pod NIC is provisioned by the VMM,
 /// plugged into the host bridge, and configured inside the pod namespace —
 /// "without the intermediary of NAT, a bridge and another vNIC in the VM".
@@ -79,6 +96,12 @@ class BrFusionCni : public Cni {
   void attach(container::Pod::Fragment& fragment, const Options& options,
               std::function<void(container::Runtime::AttachOutcome)> done)
       override;
+
+  /// Pod teardown: detaches the pod NIC from the fragment's stack (dead
+  /// ifindex, targeted flow-cache flush) and has the VMM hot-unplug it via
+  /// QMP device_del.  `done` fires once the guest unbind completed.
+  void detach(container::Pod::Fragment& fragment, int ifindex,
+              std::function<void()> done);
 
  private:
   OrchVmmChannel* channel_;

@@ -36,6 +36,12 @@ GuestDockerNetwork::GuestDockerNetwork(vmm::Vm& vm,
   // Guest-forwarding service-time noise (see set_forward_jitter).
   vm.stack().set_forward_jitter(0.7, machine.rng().fork().next_u64());
 
+  // Expired FDB entries flush exactly the cached fast paths switched
+  // through them (the bridge is the L2 hop of every cached NAT flow).
+  docker0_->fdb().set_eviction_listener([this](net::MacAddress mac) {
+    vm_->stack().flow_cache().invalidate_mac(mac);
+  });
+
   // Masquerade container egress to the uplink address (docker's
   // `-t nat -A POSTROUTING -s 172.17.0.0/16 ! -o docker0 -j MASQUERADE`).
   const int up = vm.stack().ifindex_of(uplink);
@@ -46,8 +52,7 @@ GuestDockerNetwork::GuestDockerNetwork(vmm::Vm& vm,
   masq.target = net::TargetKind::kMasquerade;
   masq.nat_ip = vm.stack().iface_ip(up);
   masq.comment = "docker-masquerade";
-  vm.stack().netfilter().nat_chain(net::Hook::kPostrouting).rules.push_back(
-      masq);
+  vm.stack().netfilter().add_nat_rule(net::Hook::kPostrouting, masq);
 }
 
 GuestDockerNetwork::Attachment GuestDockerNetwork::attach(
@@ -88,9 +93,13 @@ void GuestDockerNetwork::publish_port(std::uint16_t port,
     dnat.nat_ip = container_ip;
     dnat.nat_port = port;
     dnat.comment = "docker-publish-" + std::to_string(port);
-    vm_->stack().netfilter().nat_chain(net::Hook::kPrerouting).rules.push_back(
-        dnat);
+    vm_->stack().netfilter().add_nat_rule(net::Hook::kPrerouting, dnat);
   }
+}
+
+std::size_t GuestDockerNetwork::unpublish_port(std::uint16_t port) {
+  return vm_->stack().netfilter().remove_nat_rules(
+      net::Hook::kPrerouting, "docker-publish-" + std::to_string(port));
 }
 
 }  // namespace nestv::core

@@ -41,6 +41,11 @@ class GuestDockerNetwork {
   /// inserting DNAT rules on the VM's PREROUTING chain.
   void publish_port(std::uint16_t port, net::Ipv4Address container_ip);
 
+  /// Withdraws a published port (container teardown); returns the number
+  /// of rules removed.  Goes through the notifying netfilter API, so
+  /// cached fast paths matching the rule are flushed.
+  std::size_t unpublish_port(std::uint16_t port);
+
   [[nodiscard]] net::Bridge& bridge() { return *docker0_; }
   [[nodiscard]] net::Ipv4Address gateway_ip() const { return gateway_ip_; }
   [[nodiscard]] vmm::Vm& vm() { return *vm_; }

@@ -25,6 +25,20 @@ void OrchVmmChannel::request_nic(
   });
 }
 
+void OrchVmmChannel::release_nic(vmm::Vm& vm, net::MacAddress mac,
+                                 std::function<void()> reply) {
+  messages_ += 2;  // request + reply
+  auto& engine = vmm_->machine().engine();
+  const sim::Duration one_way = one_way_;
+  engine.schedule_in(one_way, [this, &engine, &vm, mac, one_way,
+                               reply = std::move(reply)]() mutable {
+    vmm_->release_nic(vm, mac,
+                      [&engine, one_way, reply = std::move(reply)]() mutable {
+                        engine.schedule_in(one_way, std::move(reply));
+                      });
+  });
+}
+
 void OrchVmmChannel::request_hostlo(
     std::vector<vmm::Vm*> vms,
     std::function<void(vmm::Vmm::ProvisionedHostlo)> reply) {

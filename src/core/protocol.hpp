@@ -27,6 +27,11 @@ class OrchVmmChannel {
   void request_nic(vmm::Vm& vm,
                    std::function<void(vmm::Vmm::ProvisionedNic)> reply);
 
+  /// BrFusion teardown: ask the VMM to hot-unplug the NIC identified by
+  /// `mac` from `vm` (QMP device_del behind the management network).
+  void release_nic(vmm::Vm& vm, net::MacAddress mac,
+                   std::function<void()> reply);
+
   /// Step 1-3 of section 4.1: ask for a new Hostlo multiplexed between the
   /// given VMs.
   void request_hostlo(

@@ -51,10 +51,14 @@ void ServiceRegistry::program_node(vmm::Vm& vm) {
   // previous rules, then install the current service set on both hooks
   // (PREROUTING for pod/external traffic, OUTPUT for node-local clients).
   for (const auto hook : {net::Hook::kPrerouting, net::Hook::kOutput}) {
-    auto& rules = vm.stack().netfilter().nat_chain(hook).rules;
-    std::erase_if(rules, [](const net::Rule& r) {
-      return r.comment.rfind(kRuleComment, 0) == 0;
-    });
+    auto& nf = vm.stack().netfilter();
+    // Removals and inserts go through the notifying API so flow caches
+    // drop exactly the cached flows the rewritten service set may affect.
+    std::vector<std::string> stale;
+    for (const auto& r : nf.nat_chain(hook).rules) {
+      if (r.comment.rfind(kRuleComment, 0) == 0) stale.push_back(r.comment);
+    }
+    for (const auto& comment : stale) nf.remove_nat_rules(hook, comment);
     for (const auto& [name, svc] : services_) {
       if (svc.backends.empty()) continue;
       net::Rule rule;
@@ -63,7 +67,7 @@ void ServiceRegistry::program_node(vmm::Vm& vm) {
       rule.target = net::TargetKind::kDnatRoundRobin;
       rule.backends = svc.backends;
       rule.comment = std::string(kRuleComment) + "-" + name;
-      rules.push_back(std::move(rule));
+      nf.add_nat_rule(hook, std::move(rule));
     }
   }
 }

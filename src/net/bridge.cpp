@@ -15,6 +15,25 @@ int Fdb::lookup(MacAddress mac, sim::TimePoint now) const {
   return it->second.port;
 }
 
+void Fdb::forget(MacAddress mac) {
+  if (table_.erase(mac) > 0 && on_evict_) on_evict_(mac);
+}
+
+std::size_t Fdb::expire(sim::TimePoint now) {
+  std::size_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (now - it->second.seen > ageing_) {
+      const MacAddress mac = it->first;
+      it = table_.erase(it);
+      ++evicted;
+      if (on_evict_) on_evict_(mac);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 Bridge::Bridge(sim::Engine& engine, std::string name,
                const sim::CostModel& costs, bool guest_level)
     : Device(engine, std::move(name), costs), guest_level_(guest_level) {}

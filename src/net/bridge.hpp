@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "net/device.hpp"
@@ -16,8 +17,19 @@ class Fdb {
   void learn(MacAddress mac, int port, sim::TimePoint now);
   /// Returns the port for `mac`, or -1 when unknown/expired.
   [[nodiscard]] int lookup(MacAddress mac, sim::TimePoint now) const;
-  void forget(MacAddress mac) { table_.erase(mac); }
+  void forget(MacAddress mac);
   [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+  /// Notified with each MAC that leaves the table (ageing sweep or
+  /// forget()); flow caches holding that MAC as a next hop subscribe so
+  /// an expired L2 entry flushes exactly the flows switched through it.
+  void set_eviction_listener(std::function<void(MacAddress)> l) {
+    on_evict_ = std::move(l);
+  }
+
+  /// Removes entries older than the ageing window, notifying the
+  /// listener (the kernel's periodic br_fdb_cleanup).
+  std::size_t expire(sim::TimePoint now);
 
  private:
   struct Entry {
@@ -26,6 +38,7 @@ class Fdb {
   };
   sim::Duration ageing_;
   std::unordered_map<MacAddress, Entry> table_;
+  std::function<void(MacAddress)> on_evict_;
 };
 
 /// A learning switch.  Frames to unknown/broadcast destinations flood all
@@ -41,6 +54,7 @@ class Bridge : public Device {
   void ingress(EthernetFrame frame, int port) override;
 
   [[nodiscard]] const Fdb& fdb() const { return fdb_; }
+  [[nodiscard]] Fdb& fdb() { return fdb_; }
   [[nodiscard]] std::uint64_t floods() const { return floods_; }
 
  private:

@@ -1,0 +1,45 @@
+// FlowKey: the identity of one established flow as seen at stack ingress.
+//
+// A cached fast-path entry is keyed by the packet's 5-tuple *plus* the
+// ingress interface, mirroring ONCache's per-(flow, device) cache: the same
+// tuple arriving on a different NIC may route, filter and NAT differently,
+// so the ingress device is part of the identity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace nestv::net::flowcache {
+
+struct FlowKey {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  L4Proto proto = L4Proto::kUdp;
+  int in_ifindex = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  [[nodiscard]] static FlowKey of(const Packet& p, int in_ifindex) {
+    return FlowKey{p.src_ip, p.dst_ip, p.src_port,
+                   p.dst_port, p.proto,  in_ifindex};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = k.src_ip.value();
+    h = h * 0x9e3779b97f4a7c15ULL + k.dst_ip.value();
+    h = h * 0x9e3779b97f4a7c15ULL +
+        ((std::uint64_t{k.src_port} << 32) | (std::uint64_t{k.dst_port} << 16) |
+         (std::uint64_t{static_cast<std::uint8_t>(k.proto)} << 8) |
+         static_cast<std::uint64_t>(k.in_ifindex & 0xff));
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace nestv::net::flowcache

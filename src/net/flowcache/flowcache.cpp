@@ -1,0 +1,119 @@
+#include "net/flowcache/flowcache.hpp"
+
+namespace nestv::net::flowcache {
+
+const CachedPath* FlowCache::lookup(const FlowKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    rate_.miss();
+    return nullptr;
+  }
+  if (it->second->path.generation != generation_) {
+    // Stamped before the last invalidate_all(): lazily reclaimed here.
+    erase(it->second);
+    rate_.miss();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  rate_.hit();
+  return &it->second->path;
+}
+
+const CachedPath* FlowCache::peek(const FlowKey& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->path.generation != generation_) {
+    return nullptr;
+  }
+  return &it->second->path;
+}
+
+void FlowCache::insert(const FlowKey& key, CachedPath path) {
+  path.generation = generation_;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->path = std::move(path);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(path)});
+  entries_[key] = lru_.begin();
+}
+
+void FlowCache::erase(LruList::iterator it) {
+  entries_.erase(it->key);
+  lru_.erase(it);
+}
+
+void FlowCache::invalidate(const FlowKey& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  erase(it->second);
+  ++invalidations_;
+}
+
+std::size_t FlowCache::invalidate_if(
+    const std::function<bool(const FlowKey&, const CachedPath&)>& pred) {
+  std::size_t flushed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(it->key, it->path)) {
+      entries_.erase(it->key);
+      it = lru_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += flushed;
+  return flushed;
+}
+
+std::size_t FlowCache::invalidate_match(const RuleMatch& match) {
+  return invalidate_if([&match](const FlowKey& key, const CachedPath& path) {
+    // Ingress view: the tuple hooks saw before any rewrite.
+    Packet ingress;
+    ingress.src_ip = key.src_ip;
+    ingress.dst_ip = key.dst_ip;
+    ingress.src_port = key.src_port;
+    ingress.dst_port = key.dst_port;
+    ingress.proto = key.proto;
+    if (match.matches(ingress, path.in_iface, path.out_iface)) return true;
+    // Egress view: POSTROUTING-side rules match the rewritten header.
+    Packet egress = ingress;
+    egress.src_ip = path.new_src_ip;
+    egress.dst_ip = path.new_dst_ip;
+    egress.src_port = path.new_src_port;
+    egress.dst_port = path.new_dst_port;
+    return match.matches(egress, path.in_iface, path.out_iface);
+  });
+}
+
+std::size_t FlowCache::invalidate_mac(MacAddress mac) {
+  return invalidate_if([mac](const FlowKey&, const CachedPath& path) {
+    return path.action == CachedPath::Action::kForward &&
+           path.next_hop_mac == mac;
+  });
+}
+
+std::size_t FlowCache::invalidate_ifindex(int ifindex) {
+  return invalidate_if([ifindex](const FlowKey& key, const CachedPath& path) {
+    return key.in_ifindex == ifindex || path.out_ifindex == ifindex;
+  });
+}
+
+std::size_t FlowCache::invalidate_conn(std::uint64_t ct_id) {
+  return invalidate_if([ct_id](const FlowKey&, const CachedPath& path) {
+    return path.ct_id == ct_id;
+  });
+}
+
+void FlowCache::invalidate_all() {
+  ++generation_;
+  invalidations_ += entries_.size();
+}
+
+}  // namespace nestv::net::flowcache

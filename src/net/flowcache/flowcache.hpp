@@ -1,0 +1,137 @@
+// Per-flow fast-path cache (the ONCache idea applied to the simulation).
+//
+// Every packet of an established flow normally walks the full per-hop
+// chain — netfilter hooks with rule scans, conntrack lookup, FIB lookup,
+// ARP resolution — yet for all but the first packet the outcome is fully
+// determined by the flow.  A FlowCache memoizes that outcome as a
+// CachedPath: the forward decision (egress interface + resolved next-hop
+// MAC, or local delivery, or drop), the NAT header rewrite, and one
+// aggregated "fast path" CPU charge that replaces the per-hop costs.
+//
+// Coherence is the hard part, handled two ways:
+//  * generation-stamped invalidation: entries record the cache generation
+//    and the owning stack's routing-table generation at insert; a bumped
+//    generation turns every stale entry into a lazy miss (O(1) full flush,
+//    used for route-table edits).
+//  * targeted invalidation: rule-table edits, FDB/neighbour expiry, NIC
+//    hot-unplug and conntrack expiry flush exactly the affected entries
+//    (invalidate_match / invalidate_mac / invalidate_ifindex /
+//    invalidate_conn), so unrelated flows keep their fast path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flowcache/flow_key.hpp"
+#include "net/netfilter.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::net::flowcache {
+
+/// The memoized verdict chain for one flow direction.
+struct CachedPath {
+  enum class Action : std::uint8_t { kForward, kDeliverLocal, kDrop };
+
+  Action action = Action::kForward;
+  int out_ifindex = -1;  ///< kForward only
+
+  /// Post-hook header view (the NAT rewrite to apply on a hit).  Equal to
+  /// the key's tuple when the flow is not translated.
+  Ipv4Address new_src_ip;
+  Ipv4Address new_dst_ip;
+  std::uint16_t new_src_port = 0;
+  std::uint16_t new_dst_port = 0;
+  bool rewrites = false;
+
+  /// Resolved L2 next hop (kForward): the cached path skips ARP too.
+  MacAddress next_hop_mac;
+
+  /// Conntrack entry backing this flow; a cached path whose backing
+  /// expired must not serve hits (checked by the owning stack).
+  std::uint64_t ct_id = 0;
+
+  /// Interface names at record time, for rule-match targeting.
+  std::string in_iface;
+  std::string out_iface;
+
+  /// Aggregated per-hop CPU charge of the fast path (replaces hook +
+  /// route + ARP costs on a hit).
+  sim::Duration fast_cost = 0;
+
+  // Validity stamps (set by FlowCache / the owning stack at insert).
+  std::uint64_t generation = 0;   ///< cache generation at insert
+  std::uint64_t routes_gen = 0;   ///< owning stack's routing generation
+};
+
+/// LRU cache of CachedPath entries with generation-stamped and targeted
+/// invalidation.  Not thread-safe (the simulation is single-threaded).
+class FlowCache {
+ public:
+  explicit FlowCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Looks up `key`, refreshing LRU order.  Entries stamped with an old
+  /// cache generation are erased and reported as misses.  Does not check
+  /// routes_gen / conntrack liveness — the owning stack validates those
+  /// (it owns the authoritative state) and calls invalidate() on failure.
+  [[nodiscard]] const CachedPath* lookup(const FlowKey& key);
+
+  /// Peek without touching LRU order or hit/miss counters (tests, stats).
+  [[nodiscard]] const CachedPath* peek(const FlowKey& key) const;
+  [[nodiscard]] bool contains(const FlowKey& key) const {
+    return peek(key) != nullptr;
+  }
+
+  /// Inserts (or replaces) the entry, stamping the current generation and
+  /// evicting the least-recently-used entry when full.
+  void insert(const FlowKey& key, CachedPath path);
+
+  // ---- invalidation -----------------------------------------------------
+  void invalidate(const FlowKey& key);
+  /// Flushes entries for which `pred(key, path)` holds; returns the count.
+  std::size_t invalidate_if(
+      const std::function<bool(const FlowKey&, const CachedPath&)>& pred);
+  /// Rule-table edit: flushes entries whose ingress *or* post-rewrite
+  /// header view matches the changed rule's predicate.
+  std::size_t invalidate_match(const RuleMatch& match);
+  /// FDB / neighbour expiry: flushes entries forwarded via `mac`.
+  std::size_t invalidate_mac(MacAddress mac);
+  /// NIC hot-unplug: flushes entries entering or leaving `ifindex`.
+  std::size_t invalidate_ifindex(int ifindex);
+  /// Conntrack expiry: flushes entries backed by connection `ct_id`.
+  std::size_t invalidate_conn(std::uint64_t ct_id);
+  /// O(1) full flush via generation bump (route-table edits, mode flips).
+  void invalidate_all();
+
+  // ---- statistics -------------------------------------------------------
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] const sim::HitRateCounter& hit_rate() const { return rate_; }
+  [[nodiscard]] std::uint64_t hits() const { return rate_.hits(); }
+  [[nodiscard]] std::uint64_t misses() const { return rate_.misses(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Entry {
+    FlowKey key;
+    CachedPath path;
+  };
+  using LruList = std::list<Entry>;
+
+  void erase(LruList::iterator it);
+
+  std::size_t capacity_;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<FlowKey, LruList::iterator, FlowKeyHash> entries_;
+  std::uint64_t generation_ = 1;
+  sim::HitRateCounter rate_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace nestv::net::flowcache

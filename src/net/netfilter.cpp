@@ -268,16 +268,70 @@ Netfilter::HookResult Netfilter::run_filter(Hook h, Packet& p,
   return r;
 }
 
-void Netfilter::expire(sim::TimePoint now, sim::Duration idle_timeout) {
+void Netfilter::touch(std::uint64_t id, sim::TimePoint now) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second.last_seen = now;
+  ++it->second.packets;
+}
+
+std::vector<std::uint64_t> Netfilter::gc(sim::TimePoint now,
+                                         sim::Duration idle_timeout) {
+  std::vector<std::uint64_t> reaped;
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (now - it->second.last_seen > idle_timeout) {
       by_tuple_.erase(it->second.orig);
       if (it->second.confirmed) by_tuple_.erase(it->second.reply);
+      reaped.push_back(it->first);
       it = conns_.erase(it);
     } else {
       ++it;
     }
   }
+  return reaped;
+}
+
+void Netfilter::add_nat_rule(Hook h, Rule rule) {
+  const RuleMatch match = rule.match;
+  nat_chain(h).rules.push_back(std::move(rule));
+  if (on_mutation_) on_mutation_(match);
+}
+
+void Netfilter::add_filter_rule(Hook h, Rule rule) {
+  const RuleMatch match = rule.match;
+  filter_chain(h).rules.push_back(std::move(rule));
+  if (on_mutation_) on_mutation_(match);
+}
+
+std::size_t Netfilter::remove_nat_rules(Hook h, const std::string& comment) {
+  auto& rules = nat_chain(h).rules;
+  std::size_t removed = 0;
+  for (auto it = rules.begin(); it != rules.end();) {
+    if (it->comment == comment) {
+      if (on_mutation_) on_mutation_(it->match);
+      it = rules.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t Netfilter::remove_filter_rules(Hook h,
+                                           const std::string& comment) {
+  auto& rules = filter_chain(h).rules;
+  std::size_t removed = 0;
+  for (auto it = rules.begin(); it != rules.end();) {
+    if (it->comment == comment) {
+      if (on_mutation_) on_mutation_(it->match);
+      it = rules.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
 }
 
 }  // namespace nestv::net

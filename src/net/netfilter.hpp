@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -125,6 +126,24 @@ class Netfilter {
   /// filter-table chains at INPUT / FORWARD / OUTPUT.
   Chain& filter_chain(Hook h) { return filter_[static_cast<std::size_t>(h)]; }
 
+  /// Observer for rule-table edits made through add/remove below; carries
+  /// the changed rule's predicate so the owning stack's flow cache can
+  /// flush exactly the flows the rule could affect.  Direct chain access
+  /// via nat_chain()/filter_chain() bypasses it (setup-time wiring only).
+  using MutationListener = std::function<void(const RuleMatch&)>;
+  void set_mutation_listener(MutationListener l) {
+    on_mutation_ = std::move(l);
+  }
+
+  /// Rule edits that notify the mutation listener (use these for any edit
+  /// made while traffic may be cached).
+  void add_nat_rule(Hook h, Rule rule);
+  void add_filter_rule(Hook h, Rule rule);
+  /// Removes all rules whose comment equals `comment` from the given
+  /// chain; returns the number removed.
+  std::size_t remove_nat_rules(Hook h, const std::string& comment);
+  std::size_t remove_filter_rules(Hook h, const std::string& comment);
+
   /// Installs `n` pass-through rules on the filter FORWARD and OUTPUT/INPUT
   /// chains, standing in for the chains Docker/Kubernetes maintain
   /// (DOCKER-USER, KUBE-SERVICES, ...).  They match nothing but still cost
@@ -146,9 +165,24 @@ class Netfilter {
   [[nodiscard]] std::uint64_t hook_traversals() const { return traversals_; }
   [[nodiscard]] std::size_t conntrack_size() const { return conns_.size(); }
   [[nodiscard]] const ConnEntry* find_conn(const ConnKey& k) const;
+  /// True while connection `id` is tracked (fast-path liveness check).
+  [[nodiscard]] bool conn_alive(std::uint64_t id) const {
+    return conns_.find(id) != conns_.end();
+  }
 
-  /// Expires idle conntrack entries (lazy GC; called by the owning stack).
-  void expire(sim::TimePoint now, sim::Duration idle_timeout);
+  /// Keep-alive for the cached fast path: packets that bypass the hooks
+  /// still refresh their connection (last_seen, packet count) so GC does
+  /// not reap actively cached flows.
+  void touch(std::uint64_t id, sim::TimePoint now);
+
+  /// Expires idle conntrack entries; returns the ids of the reaped
+  /// connections so dependent caches can drop their entries.
+  std::vector<std::uint64_t> gc(sim::TimePoint now,
+                                sim::Duration idle_timeout);
+  /// Back-compat wrapper around gc() discarding the reaped ids.
+  void expire(sim::TimePoint now, sim::Duration idle_timeout) {
+    (void)gc(now, idle_timeout);
+  }
 
  private:
   HookResult run_nat(Hook h, Packet& p, const std::string& in,
@@ -173,6 +207,7 @@ class Netfilter {
   std::uint16_t next_nat_port_ = 32768;
   std::uint64_t rr_counter_ = 0;  ///< round-robin cursor for service rules
   std::uint64_t traversals_ = 0;
+  MutationListener on_mutation_;
 };
 
 }  // namespace nestv::net

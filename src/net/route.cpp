@@ -1,6 +1,18 @@
 #include "net/route.hpp"
 
+#include <algorithm>
+
 namespace nestv::net {
+
+std::size_t RoutingTable::remove(Ipv4Cidr prefix) {
+  const auto it = std::remove_if(
+      routes_.begin(), routes_.end(),
+      [prefix](const Route& r) { return r.prefix == prefix; });
+  const auto removed = static_cast<std::size_t>(routes_.end() - it);
+  routes_.erase(it, routes_.end());
+  if (removed > 0) ++generation_;
+  return removed;
+}
 
 std::optional<RouteDecision> RoutingTable::lookup(Ipv4Address dst) const {
   const Route* best = nullptr;

@@ -25,14 +25,18 @@ struct RouteDecision {
 
 class RoutingTable {
  public:
-  void add(const Route& r) { routes_.push_back(r); }
+  void add(const Route& r) {
+    routes_.push_back(r);
+    ++generation_;
+  }
   void add_connected(Ipv4Cidr prefix, int ifindex) {
-    routes_.push_back(Route{prefix, ifindex, std::nullopt, 0});
+    add(Route{prefix, ifindex, std::nullopt, 0});
   }
   void add_default(Ipv4Address gateway, int ifindex) {
-    routes_.push_back(
-        Route{Ipv4Cidr(Ipv4Address(0), 0), ifindex, gateway, 0});
+    add(Route{Ipv4Cidr(Ipv4Address(0), 0), ifindex, gateway, 0});
   }
+  /// Removes every route with this exact prefix; returns the count.
+  std::size_t remove(Ipv4Cidr prefix);
 
   /// Longest-prefix match; ties broken by lowest metric, then insertion
   /// order.  Returns nullopt when no route covers `dst`.
@@ -41,8 +45,14 @@ class RoutingTable {
   [[nodiscard]] std::size_t size() const { return routes_.size(); }
   [[nodiscard]] const std::vector<Route>& routes() const { return routes_; }
 
+  /// Bumped by every table edit.  Cached forwarding decisions stamp the
+  /// generation they were computed under and lazily miss once it moves
+  /// (src/net/flowcache — route changes invalidate via this stamp).
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
  private:
   std::vector<Route> routes_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace nestv::net

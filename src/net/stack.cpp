@@ -54,7 +54,12 @@ NetworkStack::NetworkStack(sim::Engine& engine, std::string name,
       name_(std::move(name)),
       costs_(&costs),
       softirq_(softirq),
-      nf_(costs) {
+      nf_(costs),
+      fcache_(costs.flowcache_capacity) {
+  // Rule-table edits flush exactly the cached flows the changed rule
+  // could have matched (on either their ingress or post-NAT header view).
+  nf_.set_mutation_listener(
+      [this](const RuleMatch& m) { fcache_.invalidate_match(m); });
   // Interface 0 is always loopback.
   Interface lo;
   lo.cfg.name = "lo";
@@ -299,6 +304,12 @@ void NetworkStack::ip_rx(int ifindex, Packet p) {
 }
 
 void NetworkStack::ip_rx_one(int ifindex, Packet p) {
+  if (flowcache_enabled_ && flowcache_rx(ifindex, p)) return;
+  // Remember the ingress-time identity before any hook rewrites headers;
+  // the slow path memoizes its outcome under this key.
+  std::optional<flowcache::FlowKey> fkey;
+  if (flowcache_enabled_) fkey = flowcache::FlowKey::of(p, ifindex);
+
   const std::string& in_name =
       ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.name;
 
@@ -320,6 +331,10 @@ void NetworkStack::ip_rx_one(int ifindex, Packet p) {
     if (input.verdict == Verdict::kDrop) {
       softirq_run(cost, [this] { ++dropped_; });
       return;
+    }
+    if (fkey) {
+      record_flow(*fkey, p, flowcache::CachedPath::Action::kDeliverLocal,
+                  -1, MacAddress{}, "");
     }
     softirq_run(cost, [this, ifindex, pkt = std::move(p)]() mutable {
       deliver_local(std::move(pkt), ifindex);
@@ -363,10 +378,10 @@ void NetworkStack::ip_rx_one(int ifindex, Packet p) {
         static_cast<double>(cost) * jitter_rng_.lognormal(-0.5 * s * s, s));
   }
   if (nestv_trace_enabled()) std::fprintf(stderr, "[%s t=%llu] fwd-sched out=%d cost=%llu busy_until=%llu %s\n", name_.c_str(), (unsigned long long)engine_->now(), route->ifindex, (unsigned long long)cost, (unsigned long long)(softirq_ ? softirq_->busy_until() : 0), p.describe().c_str());
-  softirq_run(cost,
-              [this, pkt = std::move(p), out = route->ifindex, in_name]() mutable {
-                egress(std::move(pkt), out, in_name);
-              });
+  softirq_run(cost, [this, pkt = std::move(p), out = route->ifindex, in_name,
+                     fkey]() mutable {
+    egress(std::move(pkt), out, in_name, fkey);
+  });
 }
 
 // ---- local delivery ----------------------------------------------------------
@@ -549,7 +564,8 @@ void NetworkStack::emit_packet(Packet p) {
 }
 
 void NetworkStack::egress(Packet p, int out_ifindex,
-                          const std::string& in_iface) {
+                          const std::string& in_iface,
+                          std::optional<flowcache::FlowKey> record) {
   if (nestv_trace_enabled()) std::fprintf(stderr, "[%s t=%llu] egress if=%d %s\n", name_.c_str(), (unsigned long long)engine_->now(), out_ifindex, p.describe().c_str());
   const Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
   const auto post = nf_.run_hook(Hook::kPostrouting, p, in_iface,
@@ -560,13 +576,20 @@ void NetworkStack::egress(Packet p, int out_ifindex,
     return;
   }
   softirq_run(post.cost,
-              [this, pkt = std::move(p), out_ifindex]() mutable {
-                arp_resolve_and_send(std::move(pkt), out_ifindex);
+              [this, pkt = std::move(p), out_ifindex, record]() mutable {
+                arp_resolve_and_send(std::move(pkt), out_ifindex, record);
               });
 }
 
-void NetworkStack::arp_resolve_and_send(Packet p, int out_ifindex) {
+void NetworkStack::arp_resolve_and_send(
+    Packet p, int out_ifindex, std::optional<flowcache::FlowKey> record) {
   Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
+  if (itf.backend == nullptr) {
+    // Hot-unplugged (QMP device_del): the netdev is gone, traffic routed
+    // at it is dropped like a carrier-less link.
+    ++dropped_;
+    return;
+  }
   // ip_fragment: UDP datagrams larger than the egress MTU leave as
   // 8-byte-aligned fragments sharing the datagram's ip_id.
   const std::uint32_t mtu_payload =
@@ -602,6 +625,12 @@ void NetworkStack::arp_resolve_and_send(Packet p, int out_ifindex) {
     // One outstanding request per next-hop; later packets just park.
     if (pending.size() == 1) send_arp_request(out_ifindex, next_hop);
     return;
+  }
+  if (record) {
+    // Whole path resolved (hooks run, route picked, L2 next hop known):
+    // memoize it so the flow's next packets skip all of the above.
+    record_flow(*record, p, flowcache::CachedPath::Action::kForward,
+                out_ifindex, *mac, itf.cfg.name);
   }
   EthernetFrame f;
   f.src = itf.cfg.mac;
@@ -656,6 +685,131 @@ void NetworkStack::handle_arp(int ifindex, const EthernetFrame& frame) {
 }
 
 void NetworkStack::loopback_deliver(Packet p) { deliver_local(std::move(p), 0); }
+
+// ---- flow cache ------------------------------------------------------------
+
+bool NetworkStack::flowcache_rx(int ifindex, Packet& p) {
+  using Action = flowcache::CachedPath::Action;
+  const auto key = flowcache::FlowKey::of(p, ifindex);
+  const flowcache::CachedPath* path = fcache_.lookup(key);
+  if (path == nullptr) return false;
+
+  // Validate the authoritative state the cache cannot watch: the routing
+  // table generation and the conntrack backing.  Stale entries are flushed
+  // and the packet falls through to the slow path (which re-records).
+  if (path->routes_gen != routes_.generation() ||
+      (path->ct_id != 0 && !nf_.conn_alive(path->ct_id))) {
+    fcache_.invalidate(key);
+    return false;
+  }
+  if (path->action == Action::kForward) {
+    const auto idx = static_cast<std::size_t>(path->out_ifindex);
+    if (path->out_ifindex <= 0 || idx >= ifaces_.size() ||
+        ifaces_[idx].backend == nullptr) {
+      fcache_.invalidate(key);
+      return false;
+    }
+    if (p.ttl <= 1) return false;  // slow path owns the ICMP error
+  }
+
+  if (nestv_trace_enabled())
+    std::fprintf(stderr, "[%s t=%llu] fcache-hit if=%d %s\n", name_.c_str(),
+                 (unsigned long long)engine_->now(), ifindex,
+                 p.describe().c_str());
+
+  sim::Duration cost = path->fast_cost;
+  // Apply the memoized NAT rewrite (identity when the flow is untranslated).
+  p.src_ip = path->new_src_ip;
+  p.dst_ip = path->new_dst_ip;
+  p.src_port = path->new_src_port;
+  p.dst_port = path->new_dst_port;
+  p.ct_id = path->ct_id;
+  if (path->ct_id != 0) nf_.touch(path->ct_id, engine_->now());
+
+  switch (path->action) {
+    case Action::kDrop:
+      softirq_run(cost, [this] { ++dropped_; });
+      return true;
+    case Action::kDeliverLocal:
+      softirq_run(cost, [this, ifindex, pkt = std::move(p)]() mutable {
+        deliver_local(std::move(pkt), ifindex);
+      });
+      return true;
+    case Action::kForward: {
+      p.ttl -= 1;
+      ++forwarded_;
+      if (forward_jitter_sigma_ > 0.0) {
+        // Same mean-1 lognormal noise as the slow forwarding path.
+        const double s = forward_jitter_sigma_;
+        cost = static_cast<sim::Duration>(
+            static_cast<double>(cost) *
+            jitter_rng_.lognormal(-0.5 * s * s, s));
+      }
+      softirq_run(cost, [this, pkt = std::move(p), out = path->out_ifindex,
+                         mac = path->next_hop_mac]() mutable {
+        Interface& itf = ifaces_.at(static_cast<std::size_t>(out));
+        if (itf.backend == nullptr) {  // unplugged while queued
+          ++dropped_;
+          return;
+        }
+        EthernetFrame f;
+        f.src = itf.cfg.mac;
+        f.dst = mac;
+        f.ethertype = 0x0800;
+        f.packet = std::move(pkt);
+        if (capture_ != nullptr) capture_->record(engine_->now(), f);
+        itf.backend->xmit(std::move(f));
+      });
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetworkStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
+                               flowcache::CachedPath::Action action,
+                               int out_ifindex, MacAddress next_hop_mac,
+                               const std::string& out_iface) {
+  flowcache::CachedPath path;
+  path.action = action;
+  path.out_ifindex = out_ifindex;
+  path.new_src_ip = p.src_ip;
+  path.new_dst_ip = p.dst_ip;
+  path.new_src_port = p.src_port;
+  path.new_dst_port = p.dst_port;
+  path.rewrites = p.src_ip != key.src_ip || p.dst_ip != key.dst_ip ||
+                  p.src_port != key.src_port || p.dst_port != key.dst_port;
+  path.next_hop_mac = next_hop_mac;
+  path.ct_id = p.ct_id;
+  path.in_iface =
+      ifaces_.at(static_cast<std::size_t>(key.in_ifindex)).cfg.name;
+  path.out_iface = out_iface;
+  path.fast_cost = costs_->flowcache_hit +
+                   (path.rewrites ? costs_->flowcache_rewrite : 0);
+  path.routes_gen = routes_.generation();
+  // Building the entry is not free: one-time softirq charge per flow.
+  softirq_run(costs_->flowcache_insert, [] {});
+  fcache_.insert(key, std::move(path));
+}
+
+std::size_t NetworkStack::conntrack_gc(sim::Duration idle_timeout) {
+  const auto reaped = nf_.gc(engine_->now(), idle_timeout);
+  for (const std::uint64_t id : reaped) fcache_.invalidate_conn(id);
+  return reaped.size();
+}
+
+void NetworkStack::detach_interface(int ifindex) {
+  Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
+  if (itf.backend != nullptr) itf.backend->set_rx({});
+  itf.backend = nullptr;
+  // Parked packets die with the netdev.
+  for (const auto& [next_hop, pkts] : itf.arp_pending) {
+    dropped_ += pkts.size();
+  }
+  itf.arp_pending.clear();
+  // Targeted flush: only flows entering or leaving this ifindex.
+  fcache_.invalidate_ifindex(ifindex);
+}
 
 // ---- UDP API --------------------------------------------------------------------
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/backend.hpp"
+#include "net/flowcache/flowcache.hpp"
 #include "net/neighbor.hpp"
 #include "net/netfilter.hpp"
 #include "net/packet.hpp"
@@ -132,6 +133,31 @@ class NetworkStack {
     forward_jitter_sigma_ = sigma;
     jitter_rng_ = sim::Rng(seed);
   }
+
+  /// Enables the per-flow fast-path cache (src/net/flowcache): established
+  /// flows skip the hook/route/ARP chain and pay one aggregated
+  /// flowcache_hit charge instead.  Off by default — the calibrated
+  /// slow-path figures (fig 2/4/10) are measured with the cache disabled.
+  /// Disabling flushes the cache.
+  void set_flowcache(bool on) {
+    flowcache_enabled_ = on;
+    if (!on) fcache_.invalidate_all();
+  }
+  [[nodiscard]] bool flowcache_enabled() const { return flowcache_enabled_; }
+  [[nodiscard]] flowcache::FlowCache& flow_cache() { return fcache_; }
+  [[nodiscard]] const flowcache::FlowCache& flow_cache() const {
+    return fcache_;
+  }
+
+  /// Conntrack garbage collection: reaps idle connections and drops the
+  /// cached fast paths they backed (a cached entry must never outlive its
+  /// conntrack backing).  Returns the number of reaped connections.
+  std::size_t conntrack_gc(sim::Duration idle_timeout);
+
+  /// NIC hot-unplug (QMP device_del): detaches the backend so the ifindex
+  /// goes dead — queued/parked packets drop — and flushes exactly the
+  /// cached flows entering or leaving it.
+  void detach_interface(int ifindex);
 
   /// GRO: in-order TCP segments of one flow arriving in a burst coalesce
   /// at the receiving netdev *before* protocol processing, so a 12-chunk
@@ -286,8 +312,19 @@ class NetworkStack {
   void deliver_local(Packet p, int ifindex);
   void forward(Packet p, int in_ifindex);
   /// Post-routing egress: POSTROUTING hook, ARP resolve, hand to backend.
-  void egress(Packet p, int out_ifindex, const std::string& in_iface);
-  void arp_resolve_and_send(Packet p, int out_ifindex);
+  /// `record` carries the ingress-time flow key of a cacheable forwarded
+  /// packet through the async chain so the resolved path can be memoized.
+  void egress(Packet p, int out_ifindex, const std::string& in_iface,
+              std::optional<flowcache::FlowKey> record = std::nullopt);
+  void arp_resolve_and_send(
+      Packet p, int out_ifindex,
+      std::optional<flowcache::FlowKey> record = std::nullopt);
+  /// Serves one packet from a cached path; returns false on a miss or a
+  /// stale entry (caller falls through to the slow path).
+  bool flowcache_rx(int ifindex, Packet& p);
+  void record_flow(const flowcache::FlowKey& key, const Packet& p,
+                   flowcache::CachedPath::Action action, int out_ifindex,
+                   MacAddress next_hop_mac, const std::string& out_iface);
   void send_arp_request(int ifindex, Ipv4Address target);
   void loopback_deliver(Packet p);
 
@@ -309,6 +346,8 @@ class NetworkStack {
   std::vector<Interface> ifaces_;  ///< [0] is loopback
   RoutingTable routes_;
   Netfilter nf_;
+  flowcache::FlowCache fcache_;
+  bool flowcache_enabled_ = false;
   bool forwarding_ = false;
   std::uint32_t forced_resegment_ = 0;
   bool gro_enabled_ = true;

@@ -8,6 +8,7 @@ const char* to_string(ServerMode m) {
   switch (m) {
     case ServerMode::kNoCont: return "NoCont";
     case ServerMode::kNat: return "NAT";
+    case ServerMode::kNatFlowCache: return "NAT+FlowCache";
     case ServerMode::kBrFusion: return "BrFusion";
   }
   return "?";
@@ -43,11 +44,16 @@ SingleServer make_single_server(ServerMode mode, std::uint16_t service_port,
   s.pod = &pod;
   auto& fragment = pod.add_fragment(vm);
 
-  core::Cni& cni = mode == ServerMode::kNat
-                       ? static_cast<core::Cni&>(bed.nat_cni())
-                       : static_cast<core::Cni&>(bed.brfusion_cni());
+  const bool nat_like =
+      mode == ServerMode::kNat || mode == ServerMode::kNatFlowCache;
+  core::Cni& cni =
+      mode == ServerMode::kNat
+          ? static_cast<core::Cni&>(bed.nat_cni())
+          : (mode == ServerMode::kNatFlowCache
+                 ? static_cast<core::Cni&>(bed.flowcache_cni())
+                 : static_cast<core::Cni&>(bed.brfusion_cni()));
   core::Cni::Options options;
-  if (mode == ServerMode::kNat) options.publish_ports = {service_port};
+  if (nat_like) options.publish_ports = {service_port};
 
   bool ready = false;
   bed.runtime_for(vm).create_container(
@@ -72,9 +78,8 @@ SingleServer make_single_server(ServerMode mode, std::uint16_t service_port,
   // The address the client dials: for NAT the published VM address (DNAT
   // translates to the container); for BrFusion the pod NIC itself.
   s.server.service_ip =
-      mode == ServerMode::kNat
-          ? vm.stack().iface_ip(vm.stack().ifindex_of("eth0"))
-          : s.server.local_ip;
+      nat_like ? vm.stack().iface_ip(vm.stack().ifindex_of("eth0"))
+               : s.server.local_ip;
   return s;
 }
 

@@ -6,6 +6,9 @@
 //               (the baseline and performance target).
 //   kNat      - vanilla nested: server in a container behind the guest
 //               docker0 bridge + NAT, port published via DNAT.
+//   kNatFlowCache - the same nested NAT wiring with the per-flow fast-path
+//               cache enabled (src/net/flowcache): established flows skip
+//               the hook/route/ARP chain on every hop.
 //   kBrFusion - server in a container whose pod owns a hot-plugged NIC on
 //               the host bridge (section 3).
 #pragma once
@@ -17,7 +20,7 @@
 
 namespace nestv::scenario {
 
-enum class ServerMode { kNoCont, kNat, kBrFusion };
+enum class ServerMode { kNoCont, kNat, kNatFlowCache, kBrFusion };
 
 [[nodiscard]] const char* to_string(ServerMode m);
 

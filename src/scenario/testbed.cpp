@@ -15,6 +15,11 @@ Testbed::Testbed(TestbedConfig config)
   vmm_ = std::make_unique<vmm::Vmm>(*machine_);
   channel_ = std::make_unique<core::OrchVmmChannel>(*vmm_);
   nat_cni_ = std::make_unique<core::BridgeNatCni>(machine_->rng().fork());
+  // Seeded off the config rather than the machine RNG stream so adding
+  // this CNI does not shift the fork sequence (and thus every jittered
+  // timing) of the pre-existing scenarios.
+  flowcache_cni_ = std::make_unique<core::FlowCacheCni>(
+      sim::Rng(config.seed ^ 0x666c6f77cafeULL));
   brfusion_cni_ = std::make_unique<core::BrFusionCni>(
       *channel_, machine_->rng().fork());
   hostlo_cni_ = std::make_unique<core::HostloCni>(*channel_);

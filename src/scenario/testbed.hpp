@@ -47,6 +47,7 @@ class Testbed {
   [[nodiscard]] vmm::Vmm& vmm() { return *vmm_; }
   [[nodiscard]] core::OrchVmmChannel& channel() { return *channel_; }
   [[nodiscard]] core::BridgeNatCni& nat_cni() { return *nat_cni_; }
+  [[nodiscard]] core::FlowCacheCni& flowcache_cni() { return *flowcache_cni_; }
   [[nodiscard]] core::BrFusionCni& brfusion_cni() { return *brfusion_cni_; }
   [[nodiscard]] core::HostloCni& hostlo_cni() { return *hostlo_cni_; }
 
@@ -77,6 +78,7 @@ class Testbed {
   std::unique_ptr<vmm::Vmm> vmm_;
   std::unique_ptr<core::OrchVmmChannel> channel_;
   std::unique_ptr<core::BridgeNatCni> nat_cni_;
+  std::unique_ptr<core::FlowCacheCni> flowcache_cni_;
   std::unique_ptr<core::BrFusionCni> brfusion_cni_;
   std::unique_ptr<core::HostloCni> hostlo_cni_;
   std::vector<std::unique_ptr<container::Pod>> pods_;

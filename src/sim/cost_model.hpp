@@ -58,6 +58,21 @@ struct CostModel {
   /// layer expensive: it runs once per MTU-sized packet in guest softirq.
   int nf_standing_rules = 6;
 
+  // ---- per-flow fast-path cache (ONCache-style; src/net/flowcache) ------
+  /// Hash lookup + validity stamps + applying the cached verdict.  This is
+  /// the whole per-packet stack charge on a hit — it replaces the hook
+  /// traversals, rule scans, conntrack and FIB lookups above.
+  Duration flowcache_hit = 240;
+  /// Applying the precomputed NAT header rewrite (no rule walk; checksum
+  /// delta was folded into the record).
+  Duration flowcache_rewrite = 60;
+  /// Recording a verdict after a slow-path traversal (entry allocation +
+  /// LRU insert), charged once per flow direction on the miss path.
+  Duration flowcache_insert = 350;
+  /// Entry budget per stack; LRU beyond this (ONCache uses a fixed-size
+  /// eBPF map the same way).
+  std::uint32_t flowcache_capacity = 4096;
+
   // ---- virtio / vhost ---------------------------------------------------
   Duration virtio_ring_pkt = 500;  ///< guest side: avail/used ring + kick
   Duration vhost_pkt = 650;        ///< host kernel worker per packet

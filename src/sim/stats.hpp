@@ -68,6 +68,29 @@ struct BoxStats {
 };
 BoxStats box_stats(const Samples& s);
 
+/// Hit/miss counter for cache-style subsystems (flow cache, conntrack);
+/// benches report the ratio alongside throughput so cache effectiveness is
+/// visible in the same table.
+class HitRateCounter {
+ public:
+  void hit() { ++hits_; }
+  void miss() { ++misses_; }
+  void reset() { hits_ = misses_ = 0; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t total() const { return hits_ + misses_; }
+  /// Hits / (hits + misses); 0 when nothing was recorded.
+  [[nodiscard]] double ratio() const {
+    return total() ? static_cast<double>(hits_) / static_cast<double>(total())
+                   : 0.0;
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 /// Fixed-width histogram for the fig 9 cost-savings frequency plot.
 class Histogram {
  public:

@@ -47,6 +47,12 @@ void Vmm::provision_nic(Vm& vm, std::function<void(ProvisionedNic)> done) {
       });
 }
 
+void Vmm::release_nic(Vm& vm, net::MacAddress mac,
+                      std::function<void()> done) {
+  ++released_;
+  qmp(vm).device_del_nic(mac, std::move(done));
+}
+
 void Vmm::create_hostlo(std::span<Vm* const> vms,
                         std::function<void(ProvisionedHostlo)> done) {
   assert(!vms.empty());

@@ -48,6 +48,13 @@ class Vmm {
   /// caller (CNI plugin) then moves the NIC into the pod namespace.
   void provision_nic(Vm& vm, std::function<void(ProvisionedNic)> done);
 
+  /// BrFusion teardown: hot-unplugs a previously provisioned NIC via QMP
+  /// device_del.  `done` fires after the command round-trip plus guest
+  /// unbind; the caller must have detached the NIC from its stack first.
+  void release_nic(Vm& vm, net::MacAddress mac, std::function<void()> done);
+
+  [[nodiscard]] std::uint64_t nics_released() const { return released_; }
+
   /// Result of a Hostlo creation.
   struct ProvisionedHostlo {
     HostloTap* hostlo = nullptr;
@@ -72,6 +79,7 @@ class Vmm {
   std::map<const Vm*, std::unique_ptr<QmpChannel>> qmp_;
   std::vector<std::unique_ptr<HostloTap>> hostlos_;
   std::uint64_t nic_count_ = 0;
+  std::uint64_t released_ = 0;
   std::uint64_t hostlo_count_ = 0;
 };
 

@@ -47,6 +47,9 @@ RrResult Netperf::run_udp_rr(std::uint32_t msg_bytes,
 
   client_.stack->udp_unbind(client_port);
   server_.stack->udp_unbind(port_);
+  // The issue lambda captures its own shared_ptr; break the cycle so the
+  // chain (and everything it holds) is released at teardown.
+  *issue = nullptr;
 
   RrResult r;
   r.transactions = latencies->count();
@@ -108,6 +111,9 @@ StreamResult Netperf::run_tcp_stream(std::uint32_t msg_bytes,
   r.throughput_mbps = static_cast<double>(delivered) * 8.0 /
                       sim::to_seconds(duration) / 1e6;
   r.retransmits = sock->retransmits();
+  // The refill lambda captures its own shared_ptr; break the cycle so the
+  // chain (and everything it holds) is released at teardown.
+  *send_chain = nullptr;
   return r;
 }
 
