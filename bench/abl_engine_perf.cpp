@@ -1,0 +1,154 @@
+// Ablation — the simulation-engine hot path itself.
+//
+// Unlike every other bench, this one measures the simulator, not the
+// simulated system: wall-clock events/sec on the steady-state NAT Netperf
+// scenario, plus how many heap allocations the engine performs per
+// steady-state packet.  The allocation count comes from a counting global
+// `operator new` compiled into this binary only, armed around the measured
+// window, so the number reflects the real hot path (InlineTask inline
+// storage, the slot+generation event queue, the packet pool) rather than
+// setup or teardown.  Simulated metrics (rr transactions, stream Mbps) are
+// printed alongside and must match every other bench at the same seed —
+// the instrumentation must never perturb the simulation.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+
+#include "bench_util.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/inline_task.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+inline void note_alloc() noexcept {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// Counting global allocator, this translation unit / binary only.  All
+// variants funnel through plain malloc/free so sized and unsized deletes
+// stay interchangeable; only allocations are counted.
+void* operator new(std::size_t n) {
+  note_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t align) {
+  note_alloc();
+  void* p = nullptr;
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (posix_memalign(&p, a < sizeof(void*) ? sizeof(void*) : a,
+                     n ? n : 1) != 0) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return ::operator new(n, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+int main(int argc, char** argv) {
+  using namespace nestv;
+  const auto args = bench::parse_args(argc, argv);
+  const auto seed = args.seed;
+
+  scenario::TestbedConfig config;
+  config.seed = seed;
+  auto s = scenario::make_single_server(scenario::ServerMode::kNat, 5001,
+                                        config);
+  auto& engine = s.bed->engine();
+  workload::Netperf np(engine, s.client, s.server, 5001);
+
+  // Warmup: establish flows, settle conntrack, and fill the packet pool and
+  // event-queue slot free lists so the measured window is steady state.
+  np.run_udp_rr(256, sim::milliseconds(20));
+
+  auto& pool = net::PacketPool::local();
+  pool.reset_stats();
+  net::PacketPool::reset_frames_cloned();
+  sim::InlineTask::reset_heap_fallbacks();
+  const auto ev0 = engine.events_executed();
+  g_heap_allocs.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const auto rr = np.run_udp_rr(256, sim::milliseconds(150));
+  const auto st = np.run_tcp_stream(1280, sim::milliseconds(200));
+
+  const auto t1 = std::chrono::steady_clock::now();
+  g_counting.store(false, std::memory_order_relaxed);
+  const auto events =
+      static_cast<double>(engine.events_executed() - ev0);
+  const auto heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  const auto tasks_heap = sim::InlineTask::heap_fallbacks();
+  const auto frames_cloned = net::PacketPool::frames_cloned();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  // A steady-state packet = one wire frame: request + response per RR
+  // transaction, one MSS-sized segment per delivered stream chunk (ACKs and
+  // retransmits ride on the same event chains and are not double-counted).
+  const std::uint64_t packets =
+      rr.transactions * 2 + (st.bytes_delivered + 1279) / 1280;
+  const double allocs_per_packet =
+      packets ? static_cast<double>(heap_allocs) /
+                    static_cast<double>(packets)
+              : 0.0;
+
+  std::printf("ablation: engine hot path (steady-state NAT Netperf)\n");
+  std::printf("  events executed        %14.0f\n", events);
+  std::printf("  wall seconds           %14.4f\n", wall);
+  std::printf("  events/sec (wall)      %14.0f\n", events / wall);
+  std::printf("  steady-state packets   %14llu\n",
+              static_cast<unsigned long long>(packets));
+  std::printf("  heap allocations       %14llu  (%.4f per packet)\n",
+              static_cast<unsigned long long>(heap_allocs),
+              allocs_per_packet);
+  std::printf("  InlineTask heap spills %14llu\n",
+              static_cast<unsigned long long>(tasks_heap));
+  std::printf("  frames cloned          %14llu\n",
+              static_cast<unsigned long long>(frames_cloned));
+  std::printf("  pool reuse ratio       %14.4f  (%llu reused / %llu fresh)\n",
+              pool.reuse_ratio(),
+              static_cast<unsigned long long>(pool.reuses()),
+              static_cast<unsigned long long>(pool.fresh_allocs()));
+  std::printf("  sim check: rr_tx %llu, stream %.1f Mbps\n",
+              static_cast<unsigned long long>(rr.transactions),
+              st.throughput_mbps);
+
+  bench::JsonReport report("abl_engine_perf", seed);
+  // Wall-clock metrics vary run to run; CI's determinism diff skips them
+  // (tools/check_bench.py treats *_wall and wall_* names as non-sim).
+  report.add("events_per_sec_wall", events / wall);
+  report.add("wall_seconds", wall);
+  report.add("events_sim", events);
+  report.add("steady_state_packets", static_cast<double>(packets));
+  report.add("heap_allocs", static_cast<double>(heap_allocs));
+  report.add("heap_allocs_per_packet", allocs_per_packet);
+  report.add("tasks_heap", static_cast<double>(tasks_heap));
+  report.add("frames_cloned", static_cast<double>(frames_cloned));
+  report.add("pool_reuse_ratio", pool.reuse_ratio());
+  report.add("rr_transactions", static_cast<double>(rr.transactions));
+  report.add("stream_mbps", st.throughput_mbps);
+  report.write();
+  return 0;
+}

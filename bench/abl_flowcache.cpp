@@ -76,34 +76,50 @@ CachePoint overlay_point(bool cached, std::uint32_t msg_bytes,
 
 int main(int argc, char** argv) {
   using namespace nestv;
-  const auto seed = bench::seed_from_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
+  const auto seed = args.seed;
+  const auto& sizes = bench::message_sizes();
   bench::JsonReport report("abl_flowcache", seed);
+
+  struct Input {
+    bool cached;
+    std::uint32_t size;
+  };
+  std::vector<Input> inputs;
+  for (const bool cached : {false, true}) {
+    for (const auto size : sizes) inputs.push_back({cached, size});
+  }
 
   std::printf("ablation: per-flow fast-path cache (NAT datapath)\n");
   std::printf("%-14s %8s | %12s | %10s %10s | %8s %8s\n", "mode", "msg(B)",
               "stream Mbps", "lat us", "stddev", "hit%", "entries");
 
+  const auto nat_points =
+      bench::parallel_sweep(inputs, args.jobs, [seed](const Input& in) {
+        return nat_point(in.cached, in.size, seed);
+      });
+
   double nat_1280 = 0, cached_1280 = 0;
   double nat_lat_1280 = 0, cached_lat_1280 = 0;
-  for (const bool cached : {false, true}) {
-    for (const auto size : bench::message_sizes()) {
-      const auto p = nat_point(cached, size, seed);
-      std::printf("%-14s %8u | %12.0f | %10.1f %10.1f | %8.1f %8zu\n",
-                  cached ? "NAT+FlowCache" : "NAT", size,
-                  p.micro.throughput_mbps, p.micro.latency_us,
-                  p.micro.latency_stddev_us, 100.0 * p.hit_rate, p.entries);
-      if (size == 1280) {
-        if (cached) {
-          cached_1280 = p.micro.throughput_mbps;
-          cached_lat_1280 = p.micro.latency_us;
-          report.add("nat_cached_hit_rate_1280B", p.hit_rate);
-        } else {
-          nat_1280 = p.micro.throughput_mbps;
-          nat_lat_1280 = p.micro.latency_us;
-        }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const bool cached = inputs[i].cached;
+    const auto size = inputs[i].size;
+    const auto& p = nat_points[i];
+    std::printf("%-14s %8u | %12.0f | %10.1f %10.1f | %8.1f %8zu\n",
+                cached ? "NAT+FlowCache" : "NAT", size,
+                p.micro.throughput_mbps, p.micro.latency_us,
+                p.micro.latency_stddev_us, 100.0 * p.hit_rate, p.entries);
+    if (size == 1280) {
+      if (cached) {
+        cached_1280 = p.micro.throughput_mbps;
+        cached_lat_1280 = p.micro.latency_us;
+        report.add("nat_cached_hit_rate_1280B", p.hit_rate);
+      } else {
+        nat_1280 = p.micro.throughput_mbps;
+        nat_lat_1280 = p.micro.latency_us;
       }
     }
-    std::printf("\n");
+    if ((i + 1) % sizes.size() == 0) std::printf("\n");
   }
 
   const double speedup = cached_1280 / nat_1280;
@@ -120,19 +136,23 @@ int main(int argc, char** argv) {
   std::printf("ablation: per-flow fast-path cache (Overlay datapath)\n");
   std::printf("%-16s %8s | %12s | %10s %10s | %8s\n", "mode", "msg(B)",
               "stream Mbps", "lat us", "stddev", "hit%");
+  const auto ovl_points =
+      bench::parallel_sweep(inputs, args.jobs, [seed](const Input& in) {
+        return overlay_point(in.cached, in.size, seed);
+      });
   double ovl_1280 = 0, ovl_cached_1280 = 0;
-  for (const bool cached : {false, true}) {
-    for (const auto size : bench::message_sizes()) {
-      const auto p = overlay_point(cached, size, seed);
-      std::printf("%-16s %8u | %12.0f | %10.1f %10.1f | %8.1f\n",
-                  cached ? "Overlay+FlowCache" : "Overlay", size,
-                  p.micro.throughput_mbps, p.micro.latency_us,
-                  p.micro.latency_stddev_us, 100.0 * p.hit_rate);
-      if (size == 1280) {
-        (cached ? ovl_cached_1280 : ovl_1280) = p.micro.throughput_mbps;
-      }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const bool cached = inputs[i].cached;
+    const auto size = inputs[i].size;
+    const auto& p = ovl_points[i];
+    std::printf("%-16s %8u | %12.0f | %10.1f %10.1f | %8.1f\n",
+                cached ? "Overlay+FlowCache" : "Overlay", size,
+                p.micro.throughput_mbps, p.micro.latency_us,
+                p.micro.latency_stddev_us, 100.0 * p.hit_rate);
+    if (size == 1280) {
+      (cached ? ovl_cached_1280 : ovl_1280) = p.micro.throughput_mbps;
     }
-    std::printf("\n");
+    if ((i + 1) % sizes.size() == 0) std::printf("\n");
   }
   const double ovl_speedup = ovl_cached_1280 / ovl_1280;
   std::printf("@1280B: cached/uncached Overlay throughput = %.2fx\n",

@@ -1,14 +1,21 @@
 // Shared drivers for the figure-regeneration benches.
 //
 // Every bench accepts an optional positional seed argument (default 42) and
-// prints deterministic tables; EXPERIMENTS.md records these outputs against
-// the paper's reported numbers.
+// an optional `--jobs N` flag, and prints deterministic tables;
+// EXPERIMENTS.md records these outputs against the paper's reported
+// numbers.  With --jobs > 1 the independent measurement points of a sweep
+// run on a thread pool — each simulation stays single-threaded and
+// deterministic, and results are emitted in input order, so the printed
+// tables and the BENCH_*.json files are identical to a sequential run.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "json_report.hpp"
@@ -19,6 +26,61 @@
 #include "workload/netperf.hpp"
 
 namespace nestv::bench {
+
+/// Command line shared by every bench: `[seed] [--jobs N]`.
+struct BenchArgs {
+  std::uint64_t seed = 42;
+  int jobs = 1;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      a.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      a.jobs = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
+    } else if (argv[i][0] != '-') {
+      a.seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  if (a.jobs < 1) a.jobs = 1;
+  return a;
+}
+
+/// Maps `fn` over `inputs` on up to `jobs` worker threads and returns the
+/// results in input order.  Each call of `fn` must be self-contained (every
+/// measurement point builds its own Testbed/Engine, and all hot-path
+/// counters — InlineTask fallbacks, PacketPool — are thread-local), so a
+/// parallel sweep produces bit-for-bit the sequential output.
+template <typename In, typename Fn>
+auto parallel_sweep(const std::vector<In>& inputs, int jobs, Fn fn)
+    -> std::vector<decltype(fn(inputs[0]))> {
+  using Out = decltype(fn(inputs[0]));
+  std::vector<Out> results(inputs.size());
+  if (jobs <= 1 || inputs.size() <= 1) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      results[i] = fn(inputs[i]);
+    }
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), inputs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= inputs.size()) return;
+        results[i] = fn(inputs[i]);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
 
 /// The paper sweeps message sizes up to ~1408B (fig 4 / fig 10 x-axis).
 inline const std::vector<std::uint32_t>& message_sizes() {

@@ -6,7 +6,25 @@
 
 int main(int argc, char** argv) {
   using namespace nestv;
-  const auto seed = bench::seed_from_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
+  const auto seed = args.seed;
+  const auto& sizes = bench::message_sizes();
+
+  // Measurement points are independent simulations: sweep them (mode-major)
+  // on the worker pool, then print in input order.
+  struct Input {
+    scenario::ServerMode mode;
+    std::uint32_t size;
+  };
+  std::vector<Input> inputs;
+  for (const auto mode :
+       {scenario::ServerMode::kNoCont, scenario::ServerMode::kNat}) {
+    for (const auto size : sizes) inputs.push_back({mode, size});
+  }
+  const auto points =
+      bench::parallel_sweep(inputs, args.jobs, [seed](const Input& in) {
+        return bench::micro_point(in.mode, in.size, seed);
+      });
 
   std::printf("fig 2: nested (NAT) vs single-level (NoCont) Netperf\n");
   std::printf("%8s | %12s %12s | %12s %12s\n", "msg(B)", "NoCont Mbps",
@@ -14,14 +32,13 @@ int main(int argc, char** argv) {
 
   double nocont_1280_tput = 0, nat_1280_tput = 0;
   double nocont_1280_lat = 0, nat_1280_lat = 0;
-  for (const auto size : bench::message_sizes()) {
-    const auto nocont =
-        bench::micro_point(scenario::ServerMode::kNoCont, size, seed);
-    const auto nat = bench::micro_point(scenario::ServerMode::kNat, size, seed);
-    std::printf("%8u | %12.0f %12.0f | %12.1f %12.1f\n", size,
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const auto& nocont = points[si];
+    const auto& nat = points[sizes.size() + si];
+    std::printf("%8u | %12.0f %12.0f | %12.1f %12.1f\n", sizes[si],
                 nocont.throughput_mbps, nat.throughput_mbps,
                 nocont.latency_us, nat.latency_us);
-    if (size == 1280) {
+    if (sizes[si] == 1280) {
       nocont_1280_tput = nocont.throughput_mbps;
       nat_1280_tput = nat.throughput_mbps;
       nocont_1280_lat = nocont.latency_us;

@@ -6,10 +6,25 @@
 
 int main(int argc, char** argv) {
   using namespace nestv;
-  const auto seed = bench::seed_from_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
+  const auto seed = args.seed;
   const scenario::ServerMode modes[] = {scenario::ServerMode::kNoCont,
                                         scenario::ServerMode::kNat,
                                         scenario::ServerMode::kBrFusion};
+  const auto& sizes = bench::message_sizes();
+
+  struct Input {
+    scenario::ServerMode mode;
+    std::uint32_t size;
+  };
+  std::vector<Input> inputs;
+  for (const auto mode : modes) {
+    for (const auto size : sizes) inputs.push_back({mode, size});
+  }
+  const auto points =
+      bench::parallel_sweep(inputs, args.jobs, [seed](const Input& in) {
+        return bench::micro_point(in.mode, in.size, seed);
+      });
 
   std::printf("fig 4: BrFusion micro-benchmark (Netperf)\n");
   std::printf("%-9s %8s | %12s | %10s %10s | %12s\n", "mode", "msg(B)",
@@ -17,29 +32,29 @@ int main(int argc, char** argv) {
 
   double nat_1024 = 0, nat_1280 = 0, nocont_1280 = 0, brf_1280 = 0;
   double nat_lat_1280 = 0, brf_lat_1280 = 0;
-  for (const auto mode : modes) {
-    for (const auto size : bench::message_sizes()) {
-      const auto p = bench::micro_point(mode, size, seed);
-      std::printf("%-9s %8u | %12.0f | %10.1f %10.1f | %12.0f\n",
-                  to_string(mode), size, p.throughput_mbps, p.latency_us,
-                  p.latency_stddev_us,
-                  static_cast<double>(p.transactions) / 0.15);
-      if (mode == scenario::ServerMode::kNat && size == 1024)
-        nat_1024 = p.throughput_mbps;
-      if (size == 1280) {
-        if (mode == scenario::ServerMode::kNat) {
-          nat_1280 = p.throughput_mbps;
-          nat_lat_1280 = p.latency_us;
-        }
-        if (mode == scenario::ServerMode::kNoCont)
-          nocont_1280 = p.throughput_mbps;
-        if (mode == scenario::ServerMode::kBrFusion) {
-          brf_1280 = p.throughput_mbps;
-          brf_lat_1280 = p.latency_us;
-        }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto mode = inputs[i].mode;
+    const auto size = inputs[i].size;
+    const auto& p = points[i];
+    std::printf("%-9s %8u | %12.0f | %10.1f %10.1f | %12.0f\n",
+                to_string(mode), size, p.throughput_mbps, p.latency_us,
+                p.latency_stddev_us,
+                static_cast<double>(p.transactions) / 0.15);
+    if (mode == scenario::ServerMode::kNat && size == 1024)
+      nat_1024 = p.throughput_mbps;
+    if (size == 1280) {
+      if (mode == scenario::ServerMode::kNat) {
+        nat_1280 = p.throughput_mbps;
+        nat_lat_1280 = p.latency_us;
+      }
+      if (mode == scenario::ServerMode::kNoCont)
+        nocont_1280 = p.throughput_mbps;
+      if (mode == scenario::ServerMode::kBrFusion) {
+        brf_1280 = p.throughput_mbps;
+        brf_lat_1280 = p.latency_us;
       }
     }
-    std::printf("\n");
+    if ((i + 1) % sizes.size() == 0) std::printf("\n");
   }
   std::printf(
       "@1280B: BrFusion/NAT throughput = %.2fx (paper: '2.1 times "

@@ -7,10 +7,25 @@
 
 int main(int argc, char** argv) {
   using namespace nestv;
-  const auto seed = bench::seed_from_args(argc, argv);
+  const auto args = bench::parse_args(argc, argv);
+  const auto seed = args.seed;
   const scenario::CrossVmMode modes[] = {
       scenario::CrossVmMode::kSameNode, scenario::CrossVmMode::kHostlo,
       scenario::CrossVmMode::kNatCrossVm, scenario::CrossVmMode::kOverlay};
+  const auto& sizes = bench::message_sizes();
+
+  struct Input {
+    scenario::CrossVmMode mode;
+    std::uint32_t size;
+  };
+  std::vector<Input> inputs;
+  for (const auto mode : modes) {
+    for (const auto size : sizes) inputs.push_back({mode, size});
+  }
+  const auto points =
+      bench::parallel_sweep(inputs, args.jobs, [seed](const Input& in) {
+        return bench::cross_point(in.mode, in.size, seed);
+      });
 
   std::printf("fig 10: Hostlo micro-benchmark overhead (cross-VM pod)\n");
   std::printf("%-9s %8s | %12s | %10s %10s\n", "mode", "msg(B)",
@@ -19,24 +34,23 @@ int main(int argc, char** argv) {
   double tput_1024[4] = {0, 0, 0, 0};
   double lat_1024[4] = {0, 0, 0, 0};
   double hostlo_lat_min = 1e18, hostlo_lat_max = 0;
-  int mi = 0;
-  for (const auto mode : modes) {
-    for (const auto size : bench::message_sizes()) {
-      const auto p = bench::cross_point(mode, size, seed);
-      std::printf("%-9s %8u | %12.0f | %10.1f %10.1f\n", to_string(mode),
-                  size, p.throughput_mbps, p.latency_us,
-                  p.latency_stddev_us);
-      if (size == 1024) {
-        tput_1024[mi] = p.throughput_mbps;
-        lat_1024[mi] = p.latency_us;
-      }
-      if (mode == scenario::CrossVmMode::kHostlo) {
-        hostlo_lat_min = std::min(hostlo_lat_min, p.latency_us);
-        hostlo_lat_max = std::max(hostlo_lat_max, p.latency_us);
-      }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto mode = inputs[i].mode;
+    const auto size = inputs[i].size;
+    const auto& p = points[i];
+    const std::size_t mi = i / sizes.size();
+    std::printf("%-9s %8u | %12.0f | %10.1f %10.1f\n", to_string(mode),
+                size, p.throughput_mbps, p.latency_us,
+                p.latency_stddev_us);
+    if (size == 1024) {
+      tput_1024[mi] = p.throughput_mbps;
+      lat_1024[mi] = p.latency_us;
     }
-    std::printf("\n");
-    ++mi;
+    if (mode == scenario::CrossVmMode::kHostlo) {
+      hostlo_lat_min = std::min(hostlo_lat_min, p.latency_us);
+      hostlo_lat_max = std::max(hostlo_lat_max, p.latency_us);
+    }
+    if ((i + 1) % sizes.size() == 0) std::printf("\n");
   }
   // Index: 0=SameNode 1=Hostlo 2=NAT 3=Overlay.
   std::printf("@1024B throughput: Hostlo vs NAT %+.1f%% [paper +17.9%%], "

@@ -33,13 +33,16 @@ class JsonReport {
     metrics_.push_back(Metric{metric, value, paper_target});
   }
 
-  /// Writes BENCH_<name>.json into the working directory.
+  /// Writes BENCH_<name>.json into the working directory.  The file is
+  /// assembled under a temp name and renamed into place so an interrupted
+  /// run never leaves a torn JSON behind.
   void write() {
     written_ = true;
     const std::string path = "BENCH_" + name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      std::fprintf(stderr, "warning: cannot write %s\n", tmp.c_str());
       return;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n",
@@ -60,6 +63,12 @@ class JsonReport {
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "warning: cannot rename %s -> %s\n", tmp.c_str(),
+                   path.c_str());
+      std::remove(tmp.c_str());
+      return;
+    }
     std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
   }
 

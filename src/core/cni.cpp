@@ -50,7 +50,10 @@ void BridgeNatCni::attach(
                             timing_.iptables_rule_sigma);
   }
 
-  engine.schedule_in(delay, [this, &fragment, &vm, options,
+  // Init-capture `options` non-const so the closure keeps a nothrow move
+  // (a plain copy-capture of the const reference would pin a const member
+  // whose move is a throwing copy, spilling the task to the heap).
+  engine.schedule_in(delay, [this, &fragment, &vm, options = Options(options),
                              done = std::move(done)] {
     GuestDockerNetwork& network = network_for(vm);
     const auto attachment =

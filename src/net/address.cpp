@@ -77,11 +77,6 @@ Ipv4Cidr::Ipv4Cidr(Ipv4Address base, int prefix_len)
   base_ = Ipv4Address(base.value() & mask());
 }
 
-std::uint32_t Ipv4Cidr::mask() const {
-  if (prefix_len_ == 0) return 0;
-  return ~std::uint32_t{0} << (32 - prefix_len_);
-}
-
 std::optional<Ipv4Cidr> Ipv4Cidr::parse(const std::string& text) {
   const auto slash = text.find('/');
   if (slash == std::string::npos) return std::nullopt;
@@ -90,10 +85,6 @@ std::optional<Ipv4Cidr> Ipv4Cidr::parse(const std::string& text) {
   const int len = std::atoi(text.c_str() + slash + 1);
   if (len < 0 || len > 32) return std::nullopt;
   return Ipv4Cidr(*addr, len);
-}
-
-bool Ipv4Cidr::contains(Ipv4Address a) const {
-  return (a.value() & mask()) == base_.value();
 }
 
 Ipv4Address Ipv4Cidr::host(std::uint32_t i) const {

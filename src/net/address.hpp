@@ -73,10 +73,16 @@ class Ipv4Cidr {
 
   static std::optional<Ipv4Cidr> parse(const std::string& text);
 
-  [[nodiscard]] bool contains(Ipv4Address a) const;
+  // contains() runs on every routing-table scan; keep it inline.
+  [[nodiscard]] bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == base_.value();
+  }
   [[nodiscard]] Ipv4Address network() const { return base_; }
   [[nodiscard]] int prefix_len() const { return prefix_len_; }
-  [[nodiscard]] std::uint32_t mask() const;
+  [[nodiscard]] std::uint32_t mask() const {
+    if (prefix_len_ == 0) return 0;
+    return ~std::uint32_t{0} << (32 - prefix_len_);
+  }
   /// The i-th host address within the prefix (1 = first usable).
   [[nodiscard]] Ipv4Address host(std::uint32_t i) const;
   [[nodiscard]] std::string to_string() const;

@@ -57,9 +57,19 @@ void Bridge::forward(EthernetFrame frame, int ingress_port) {
     return;  // hairpin suppressed, as in Linux default
   }
   ++floods_;
+  // Flooding is a genuine duplication point: one copy per extra egress
+  // port, the last one moved.
+  int last = -1;
+  for (int p = 0; p < port_count(); ++p) {
+    if (p != ingress_port) last = p;
+  }
   for (int p = 0; p < port_count(); ++p) {
     if (p == ingress_port) continue;
-    transmit(p, frame);  // copy per egress port
+    if (p == last) {
+      transmit(p, std::move(frame));
+    } else {
+      transmit(p, frame);
+    }
   }
 }
 

@@ -30,7 +30,7 @@ std::pair<int, int> Device::link(Device& a, Device& b) {
   return {pa, pb};
 }
 
-bool Device::process(sim::Duration work, std::function<void()> then) {
+bool Device::process(sim::Duration work, sim::InlineTask&& then) {
   if (cpu_ == nullptr) {
     if (work == 0) {
       then();

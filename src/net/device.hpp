@@ -64,7 +64,7 @@ class Device {
   /// runs `then`.  Without a bound CPU the work is charged nowhere and
   /// `then` runs after `work` ns of pure delay.  Returns false if the
   /// frame had to be dropped due to backlog.
-  bool process(sim::Duration work, std::function<void()> then);
+  bool process(sim::Duration work, sim::InlineTask&& then);
 
   /// Sends `frame` out of `port`; it reaches the peer after hop latency.
   void transmit(int port, EthernetFrame frame);

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "net/packet_pool.hpp"
+
 namespace nestv::net {
 
 const char* to_string(L4Proto p) {
@@ -56,7 +58,43 @@ Packet& Packet::operator=(const Packet& other) {
   return *this;
 }
 
-Packet::~Packet() = default;
+
+void* Packet::operator new(std::size_t bytes) {
+  return PacketPool::local().allocate(bytes);
+}
+void Packet::operator delete(void* p, std::size_t bytes) noexcept {
+  PacketPool::local().deallocate(p, bytes);
+}
+void Packet::operator delete(void* p) noexcept { ::operator delete(p); }
+
+EthernetFrame::EthernetFrame(const EthernetFrame& other)
+    : src(other.src),
+      dst(other.dst),
+      ethertype(other.ethertype),
+      packet(other.packet),
+      arp_is_request(other.arp_is_request),
+      arp_sender_ip(other.arp_sender_ip),
+      arp_target_ip(other.arp_target_ip),
+      arp_sender_mac(other.arp_sender_mac) {
+  PacketPool::count_clone();
+}
+
+EthernetFrame& EthernetFrame::operator=(const EthernetFrame& other) {
+  if (this == &other) return *this;
+  EthernetFrame tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+void* EthernetFrame::operator new(std::size_t bytes) {
+  return PacketPool::local().allocate(bytes);
+}
+void EthernetFrame::operator delete(void* p, std::size_t bytes) noexcept {
+  PacketPool::local().deallocate(p, bytes);
+}
+void EthernetFrame::operator delete(void* p) noexcept {
+  ::operator delete(p);
+}
 
 std::uint32_t Packet::l4_header_bytes() const {
   switch (proto) {

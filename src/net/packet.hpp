@@ -43,7 +43,8 @@ constexpr std::uint32_t kTcpHeaderBytes = 20;
 
 /// An IPv4 packet with one L4 header.  Copyable (deep-copies any
 /// encapsulated frame); Hostlo's reflect-to-all-queues duplicates frames,
-/// so copies must be genuine duplicates.
+/// so copies must be genuine duplicates.  Heap-allocated packets recycle
+/// through the per-thread PacketPool (net/packet_pool.hpp).
 struct Packet {
   Ipv4Address src_ip;
   Ipv4Address dst_ip;
@@ -91,7 +92,14 @@ struct Packet {
   Packet& operator=(const Packet& other);
   Packet(Packet&&) noexcept = default;
   Packet& operator=(Packet&&) noexcept = default;
+  // Defined inline at the bottom of this header (after EthernetFrame is
+  // complete): the dtor runs millions of times per simulated second and
+  // must not be an out-of-line call just to test a null unique_ptr.
   ~Packet();
+
+  static void* operator new(std::size_t bytes);
+  static void operator delete(void* p, std::size_t bytes) noexcept;
+  static void operator delete(void* p) noexcept;
 
   [[nodiscard]] std::uint32_t l4_header_bytes() const;
   /// Total IP datagram length (IP header + L4 header + payload + inner).
@@ -99,7 +107,11 @@ struct Packet {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Ethernet frame carrying one IPv4 packet or an ARP message.
+/// Ethernet frame carrying one IPv4 packet or an ARP message.  Copies are
+/// deep (the Packet may carry an encapsulated inner frame) and counted by
+/// PacketPool::frames_cloned(), so the datapath's genuine duplication
+/// points stay visible; single-consumer hops move instead.  Heap nodes
+/// (VXLAN inner frames) recycle through the per-thread PacketPool.
 struct EthernetFrame {
   MacAddress src;
   MacAddress dst;
@@ -113,11 +125,24 @@ struct EthernetFrame {
   Ipv4Address arp_target_ip;
   MacAddress arp_sender_mac;
 
+  EthernetFrame() = default;
+  EthernetFrame(const EthernetFrame& other);
+  EthernetFrame& operator=(const EthernetFrame& other);
+  EthernetFrame(EthernetFrame&&) noexcept = default;
+  EthernetFrame& operator=(EthernetFrame&&) noexcept = default;
+  ~EthernetFrame() = default;
+
+  static void* operator new(std::size_t bytes);
+  static void operator delete(void* p, std::size_t bytes) noexcept;
+  static void operator delete(void* p) noexcept;
+
   [[nodiscard]] std::uint32_t wire_bytes() const {
     return kEthernetHeaderBytes +
            (ethertype == 0x0800 ? packet.ip_total_bytes() : 28);
   }
   [[nodiscard]] std::string describe() const;
 };
+
+inline Packet::~Packet() = default;
 
 }  // namespace nestv::net

@@ -1,0 +1,52 @@
+#include "net/packet_pool.hpp"
+
+#include <new>
+
+namespace nestv::net {
+
+PacketPool& PacketPool::local() {
+  static thread_local PacketPool pool;
+  return pool;
+}
+
+PacketPool::Bin* PacketPool::bin_for(std::size_t bytes) noexcept {
+  for (Bin& b : bins_) {
+    if (b.block_bytes == bytes) return &b;
+    if (b.block_bytes == 0) {
+      // First use of this size class claims the empty bin.
+      b.block_bytes = bytes;
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+void* PacketPool::allocate(std::size_t bytes) {
+  Bin* b = bin_for(bytes);
+  if (b != nullptr && !b->free.empty()) {
+    void* p = b->free.back();
+    b->free.pop_back();
+    ++reuses_;
+    return p;
+  }
+  ++fresh_;
+  return ::operator new(bytes);
+}
+
+void PacketPool::deallocate(void* p, std::size_t bytes) noexcept {
+  Bin* b = bin_for(bytes);
+  if (b != nullptr) {
+    b->free.push_back(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+void PacketPool::trim() noexcept {
+  for (Bin& b : bins_) {
+    for (void* p : b.free) ::operator delete(p);
+    b.free.clear();
+  }
+}
+
+}  // namespace nestv::net

@@ -1,0 +1,73 @@
+// Free-list pool for heap-allocated Packet / EthernetFrame nodes.
+//
+// The datapath mostly passes packets by value, but every VXLAN
+// encapsulation (`Packet::inner`) and every UDP delivery that carries an
+// inner frame puts an EthernetFrame on the heap.  Both types override
+// class-level operator new/delete to recycle those nodes through a
+// per-thread free list, so `make_unique<EthernetFrame>` at steady state is
+// a pointer pop instead of a malloc.  Thread-local state keeps the pool
+// safe under the bench sweep runner, where several deterministic
+// single-threaded simulations run on a thread pool.
+//
+// The pool also hosts the `frames_cloned` counter: EthernetFrame's copy
+// constructor counts every deep copy, making the genuine duplication
+// points (Hostlo reflect-to-all-queues, bridge floods) visible to
+// bench/abl_engine_perf.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nestv::net {
+
+class PacketPool {
+ public:
+  /// The calling thread's pool (each sweep worker gets its own).
+  static PacketPool& local();
+
+  /// Returns a block of at least `bytes`; recycles a pooled block when the
+  /// size class matches, else falls through to ::operator new.
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Releases every pooled block back to the system allocator.
+  void trim() noexcept;
+
+  // ---- statistics (reset together with reset_stats) ----------------------
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::uint64_t fresh_allocs() const { return fresh_; }
+  /// Fraction of acquisitions served from the free list.
+  [[nodiscard]] double reuse_ratio() const {
+    const std::uint64_t total = reuses_ + fresh_;
+    return total ? static_cast<double>(reuses_) / static_cast<double>(total)
+                 : 0.0;
+  }
+  void reset_stats() { reuses_ = fresh_ = 0; }
+
+  /// Deep frame copies on this thread since the last reset (incremented by
+  /// EthernetFrame's copy constructor/assignment).
+  static std::uint64_t frames_cloned() noexcept { return frames_cloned_; }
+  static void count_clone() noexcept { ++frames_cloned_; }
+  static void reset_frames_cloned() noexcept { frames_cloned_ = 0; }
+
+  ~PacketPool() { trim(); }
+
+ private:
+  PacketPool() = default;
+
+  /// One size class per pooled type (EthernetFrame and Packet differ).
+  struct Bin {
+    std::size_t block_bytes = 0;
+    std::vector<void*> free;
+  };
+  Bin* bin_for(std::size_t bytes) noexcept;
+
+  Bin bins_[2];
+  std::uint64_t reuses_ = 0;
+  std::uint64_t fresh_ = 0;
+
+  inline static thread_local std::uint64_t frames_cloned_ = 0;
+};
+
+}  // namespace nestv::net

@@ -15,6 +15,10 @@ std::size_t RoutingTable::remove(Ipv4Cidr prefix) {
 }
 
 std::optional<RouteDecision> RoutingTable::lookup(Ipv4Address dst) const {
+  CacheEntry& slot = cache_[dst.value() % kCacheSlots];
+  if (slot.generation == generation_ && slot.dst == dst) {
+    return slot.decision;
+  }
   const Route* best = nullptr;
   for (const Route& r : routes_) {
     if (!r.prefix.contains(dst)) continue;
@@ -24,9 +28,13 @@ std::optional<RouteDecision> RoutingTable::lookup(Ipv4Address dst) const {
       best = &r;
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return RouteDecision{best->ifindex,
-                       best->gateway ? *best->gateway : dst};
+  std::optional<RouteDecision> decision;
+  if (best != nullptr) {
+    decision = RouteDecision{best->ifindex,
+                             best->gateway ? *best->gateway : dst};
+  }
+  slot = CacheEntry{dst, generation_, decision};
+  return decision;
 }
 
 }  // namespace nestv::net

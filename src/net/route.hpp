@@ -51,8 +51,21 @@ class RoutingTable {
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
  private:
+  /// Direct-mapped memo of recent decisions.  A handful of destinations
+  /// dominate any steady-state flow, but every forwarded packet performs
+  /// two lookups (route, then ARP next hop), so the linear scan shows up
+  /// in the engine hot path.  Entries are validated against `generation_`,
+  /// making the memo invisible: it returns exactly what the scan would.
+  struct CacheEntry {
+    Ipv4Address dst;
+    std::uint64_t generation = ~std::uint64_t{0};
+    std::optional<RouteDecision> decision;
+  };
+  static constexpr std::size_t kCacheSlots = 8;
+
   std::vector<Route> routes_;
   std::uint64_t generation_ = 0;
+  mutable CacheEntry cache_[kCacheSlots];
 };
 
 }  // namespace nestv::net

@@ -13,7 +13,7 @@ namespace nestv::net {
 
 // ---- TcpSocket ------------------------------------------------------------
 
-void TcpSocket::send(std::uint32_t bytes, std::function<void()> on_queued) {
+void TcpSocket::send(std::uint32_t bytes, sim::InlineTask&& on_queued) {
   conn_->app_send(bytes, std::move(on_queued));
 }
 void TcpSocket::set_on_writable(std::function<void()> cb) {
@@ -135,8 +135,7 @@ bool NetworkStack::is_local_address(Ipv4Address a) const {
   return false;
 }
 
-void NetworkStack::softirq_run(sim::Duration work,
-                               std::function<void()> then) {
+void NetworkStack::softirq_run(sim::Duration work, sim::InlineTask&& then) {
   if (softirq_ == nullptr) {
     if (work == 0) {
       then();
@@ -378,8 +377,13 @@ void NetworkStack::ip_rx_one(int ifindex, Packet p) {
         static_cast<double>(cost) * jitter_rng_.lognormal(-0.5 * s * s, s));
   }
   if (nestv_trace_enabled()) std::fprintf(stderr, "[%s t=%llu] fwd-sched out=%d cost=%llu busy_until=%llu %s\n", name_.c_str(), (unsigned long long)engine_->now(), route->ifindex, (unsigned long long)cost, (unsigned long long)(softirq_ ? softirq_->busy_until() : 0), p.describe().c_str());
-  softirq_run(cost, [this, pkt = std::move(p), out = route->ifindex, in_name,
-                     fkey]() mutable {
+  // Init-capture the interface name: a plain copy-capture of the
+  // `const std::string&` would make the closure member `const std::string`,
+  // whose "move" is a throwing copy — disqualifying the closure from
+  // InlineTask's inline storage and putting a heap allocation on every
+  // forwarded packet.
+  softirq_run(cost, [this, pkt = std::move(p), out = route->ifindex,
+                     in_name = std::string(in_name), fkey]() mutable {
     egress(std::move(pkt), out, in_name, fkey);
   });
 }
@@ -390,7 +394,7 @@ void NetworkStack::deliver_local(Packet p, int ifindex) {
   (void)ifindex;
   ++delivered_;
   if (p.proto == L4Proto::kUdp) {
-    deliver_udp(p);
+    deliver_udp(std::move(p));
   } else if (p.proto == L4Proto::kTcp) {
     deliver_tcp(std::move(p));
   } else if (p.proto == L4Proto::kIcmp) {
@@ -451,7 +455,7 @@ void NetworkStack::send_icmp_error(const Packet& offender, std::uint8_t type,
   l4_emit(costs_->l4_segment, std::move(err));
 }
 
-void NetworkStack::deliver_udp(const Packet& p) {
+void NetworkStack::deliver_udp(Packet p) {
   const auto it = udp_binds_.find(p.dst_port);
   if (it == udp_binds_.end()) {
     ++dropped_;
@@ -461,7 +465,10 @@ void NetworkStack::deliver_udp(const Packet& p) {
   UdpBinding& bind = it->second;
   UdpDelivery d{p.payload_bytes, p.src_ip, p.src_port, p.sent_at, nullptr};
   if (p.inner) {
-    d.inner = std::make_shared<EthernetFrame>(*p.inner);
+    // Sole consumer from here on: hand the inner frame over instead of
+    // deep-copying it (the shared_ptr only exists to keep UdpDelivery
+    // copyable for the scheduled app path).
+    d.inner = std::shared_ptr<EthernetFrame>(std::move(p.inner));
   }
   if (bind.kernel) {
     // In-kernel consumer (VXLAN VTEP): no wakeup, no syscall.
@@ -473,10 +480,10 @@ void NetworkStack::deliver_udp(const Packet& p) {
                         static_cast<sim::Duration>(
                             c.copy_byte * static_cast<double>(p.payload_bytes));
   // Wakeup latency, then the recvfrom() on the app's CPU.
-  engine_->schedule_in(c.rx_wakeup, [this, &bind, d, app_cost] {
+  engine_->schedule_in(c.rx_wakeup, [this, &bind, d, app_cost]() mutable {
     if (bind.app != nullptr) {
       bind.app->submit_as(sim::CpuCategory::kSys, app_cost,
-                          [&bind, d] { bind.handler(d); });
+                          [&bind, d]() mutable { bind.handler(d); });
     } else {
       bind.handler(d);
     }
@@ -827,13 +834,12 @@ void NetworkStack::udp_unbind(std::uint16_t port) { udp_binds_.erase(port); }
 void NetworkStack::udp_send(Ipv4Address src_ip, std::uint16_t src_port,
                             Ipv4Address dst_ip, std::uint16_t dst_port,
                             std::uint32_t bytes, sim::SerialResource* app,
-                            std::function<void()> on_sent) {
+                            sim::InlineTask&& on_sent) {
   const auto& c = *costs_;
   const auto app_cost =
       c.syscall_pkt +
       static_cast<sim::Duration>(c.copy_byte * static_cast<double>(bytes));
-  auto emit = [this, src_ip, src_port, dst_ip, dst_port, bytes,
-               on_sent = std::move(on_sent)] {
+  auto emit = [this, src_ip, src_port, dst_ip, dst_port, bytes] {
     Packet p;
     p.src_ip = src_ip;
     p.dst_ip = dst_ip;
@@ -845,12 +851,17 @@ void NetworkStack::udp_send(Ipv4Address src_ip, std::uint16_t src_port,
     p.packet_id = next_packet_id();
     p.sent_at = engine_->now();
     l4_emit(costs_->l4_segment, std::move(p));
-    if (on_sent) on_sent();
   };
+  // `on_sent` rides as its own zero-cost FIFO item right behind the emit:
+  // capturing an InlineTask inside the emit closure would overflow its
+  // inline buffer (a task cannot nest inside another task's storage) and
+  // put an allocation back on the per-datagram path.
   if (app != nullptr) {
     app->submit_as(sim::CpuCategory::kSys, app_cost, std::move(emit));
+    if (on_sent) app->submit_as(sim::CpuCategory::kSys, 0, std::move(on_sent));
   } else {
     emit();
+    if (on_sent) on_sent();
   }
 }
 

@@ -47,7 +47,7 @@ class TcpSocket {
   /// user->kernel copy; segmentation happens asynchronously in softirq.
   /// `on_queued` (optional) fires once the bytes entered the send buffer —
   /// i.e. when the (blocking) send() syscall would have returned.
-  void send(std::uint32_t bytes, std::function<void()> on_queued = {});
+  void send(std::uint32_t bytes, sim::InlineTask&& on_queued = {});
 
   /// Called with the byte count of each chunk delivered to the app.
   void set_on_receive(std::function<void(std::uint32_t)> cb);
@@ -193,7 +193,10 @@ class NetworkStack {
     /// Encapsulated inner frame (VXLAN); shared so the delivery is copyable.
     std::shared_ptr<EthernetFrame> inner;
   };
-  using UdpHandler = std::function<void(const UdpDelivery&)>;
+  /// Handlers get a mutable delivery so a sole kernel consumer (the VXLAN
+  /// VTEP) can steal the inner frame instead of deep-copying it; handlers
+  /// that only read may take `const UdpDelivery&` as before.
+  using UdpHandler = std::function<void(UdpDelivery&)>;
 
   /// Binds `port`; deliveries charge `app` (syscall+copy) before `handler`
   /// runs.  `app` may be null (no charge, immediate dispatch after wakeup).
@@ -210,7 +213,7 @@ class NetworkStack {
   void udp_send(Ipv4Address src_ip, std::uint16_t src_port,
                 Ipv4Address dst_ip, std::uint16_t dst_port,
                 std::uint32_t bytes, sim::SerialResource* app,
-                std::function<void()> on_sent = {});
+                sim::InlineTask&& on_sent = {});
 
   // ---- ICMP ---------------------------------------------------------------
   /// Sends an echo request; `done` fires with the round-trip time when the
@@ -300,7 +303,7 @@ class NetworkStack {
   };
 
   /// Runs `work` on softirq (kSoft) then `then`.
-  void softirq_run(sim::Duration work, std::function<void()> then);
+  void softirq_run(sim::Duration work, sim::InlineTask&& then);
 
   [[nodiscard]] bool is_local_address(Ipv4Address a) const;
 
@@ -328,7 +331,7 @@ class NetworkStack {
   void send_arp_request(int ifindex, Ipv4Address target);
   void loopback_deliver(Packet p);
 
-  void deliver_udp(const Packet& p);
+  void deliver_udp(Packet p);
   void deliver_tcp(Packet p);
   void deliver_icmp(const Packet& p);
   /// Emits an ICMP error (type/code) about `offender` back to its source.

@@ -44,8 +44,7 @@ void TcpConnection::become_established() {
   if (on_connected_) on_connected_();
 }
 
-void TcpConnection::app_send(std::uint32_t bytes,
-                             std::function<void()> on_queued) {
+void TcpConnection::app_send(std::uint32_t bytes, sim::InlineTask&& on_queued) {
   if (bytes == 0 || state_ == State::kDone || state_ == State::kFinSent) {
     return;
   }
@@ -53,15 +52,21 @@ void TcpConnection::app_send(std::uint32_t bytes,
   const auto cost =
       c.syscall_pkt +
       static_cast<sim::Duration>(c.copy_byte * static_cast<double>(bytes));
-  auto push = [this, bytes, on_queued = std::move(on_queued)] {
+  auto push = [this, bytes] {
     send_buffer_ += bytes;
     pump();
-    if (on_queued) on_queued();
   };
+  // As in NetworkStack::udp_send, `on_queued` is scheduled as its own
+  // zero-cost FIFO item instead of being captured (an InlineTask does not
+  // fit inside another task's inline storage).
   if (app_ != nullptr) {
     app_->submit_as(sim::CpuCategory::kSys, cost, std::move(push));
+    if (on_queued) {
+      app_->submit_as(sim::CpuCategory::kSys, 0, std::move(on_queued));
+    }
   } else {
     push();
+    if (on_queued) on_queued();
   }
 }
 

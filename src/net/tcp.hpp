@@ -46,7 +46,7 @@ class TcpConnection {
 
   /// Application write: charges `app` (syscall + copy) then appends to the
   /// send buffer and pumps.  `on_queued` fires when the bytes are buffered.
-  void app_send(std::uint32_t bytes, std::function<void()> on_queued = {});
+  void app_send(std::uint32_t bytes, sim::InlineTask&& on_queued = {});
 
   /// Segment arrival from the stack (already past INPUT).
   void on_segment(Packet p);

@@ -12,7 +12,7 @@ VxlanDevice::VxlanDevice(sim::Engine& engine, std::string name,
       local_vtep_(local_vtep) {
   add_port();  // port 0: overlay bridge side
   stack_->udp_bind_kernel(
-      kVtepPort, [this](const NetworkStack::UdpDelivery& d) {
+      kVtepPort, [this](NetworkStack::UdpDelivery& d) {
         on_vtep_datagram(d);
       });
 }
@@ -29,19 +29,27 @@ void VxlanDevice::ingress(EthernetFrame frame, int port) {
   (void)port;
   const auto it = l2_table_.find(frame.dst);
   if (it != l2_table_.end()) {
-    encap_to(it->second, frame);
+    encap_to(it->second, std::move(frame));
     return;
   }
-  for (const Ipv4Address vtep : flood_) encap_to(vtep, frame);
+  // Flooding is a genuine duplication point: one copy per remote VTEP,
+  // the last one moved.
+  for (std::size_t i = 0; i < flood_.size(); ++i) {
+    if (i + 1 == flood_.size()) {
+      encap_to(flood_[i], std::move(frame));
+    } else {
+      encap_to(flood_[i], frame);
+    }
+  }
 }
 
-void VxlanDevice::encap_to(Ipv4Address vtep, const EthernetFrame& inner) {
+void VxlanDevice::encap_to(Ipv4Address vtep, EthernetFrame inner) {
   const auto& c = costs();
   const sim::Duration work =
       c.vxlan_encap_pkt +
       static_cast<sim::Duration>(c.vxlan_copy_byte *
                                  static_cast<double>(inner.wire_bytes()));
-  process(work, [this, vtep, inner]() mutable {
+  process(work, [this, vtep, inner = std::move(inner)]() mutable {
     ++encap_;
     Packet outer;
     outer.src_ip = local_vtep_;
@@ -53,21 +61,23 @@ void VxlanDevice::encap_to(Ipv4Address vtep, const EthernetFrame& inner) {
     outer.payload_bytes = static_cast<std::uint32_t>(
         costs().vxlan_header_bytes) - kEthernetHeaderBytes -
         kIpv4HeaderBytes - kUdpHeaderBytes;
-    outer.inner = std::make_unique<EthernetFrame>(inner);
+    // Pool-recycled node; the inner frame moves all the way through.
+    outer.inner = std::make_unique<EthernetFrame>(std::move(inner));
     outer.packet_id = stack_->next_packet_id();
     outer.sent_at = engine().now();
     stack_->l4_emit(costs().l4_segment, std::move(outer));
   });
 }
 
-void VxlanDevice::on_vtep_datagram(const NetworkStack::UdpDelivery& d) {
+void VxlanDevice::on_vtep_datagram(NetworkStack::UdpDelivery& d) {
   if (!d.inner) return;
   const auto& c = costs();
   const sim::Duration work =
       c.vxlan_decap_pkt +
       static_cast<sim::Duration>(c.vxlan_copy_byte *
                                  static_cast<double>(d.inner->wire_bytes()));
-  EthernetFrame inner = *d.inner;
+  // The VTEP is the delivery's sole consumer: steal the inner frame.
+  EthernetFrame inner = std::move(*d.inner);
   process(work, [this, f = std::move(inner)]() mutable {
     ++decap_;
     transmit(0, std::move(f));

@@ -36,8 +36,8 @@ class VxlanDevice : public Device {
   [[nodiscard]] std::uint64_t decapsulated() const { return decap_; }
 
  private:
-  void encap_to(Ipv4Address vtep, const EthernetFrame& inner);
-  void on_vtep_datagram(const NetworkStack::UdpDelivery& d);
+  void encap_to(Ipv4Address vtep, EthernetFrame inner);
+  void on_vtep_datagram(NetworkStack::UdpDelivery& d);
 
   NetworkStack* stack_;
   Ipv4Address local_vtep_;

@@ -17,8 +17,12 @@ std::uint64_t Engine::run() {
 
 std::uint64_t Engine::run_until(TimePoint deadline) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    now_ = queue_.next_time();
+  // next_time() is read once per iteration (it already discards cancelled
+  // entries, so pop_and_run's own dead-prefix scan finds a live top).
+  while (!queue_.empty()) {
+    const TimePoint t = queue_.next_time();
+    if (t > deadline) break;
+    now_ = t;
     queue_.pop_and_run();
     ++n;
   }

@@ -2,10 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_task.hpp"
 #include "sim/time.hpp"
 
 namespace nestv::sim {
@@ -21,15 +21,17 @@ class Engine {
 
   [[nodiscard]] TimePoint now() const { return now_; }
 
-  /// Schedules `action` to run `delay` nanoseconds from now.
-  EventId schedule_in(Duration delay, std::function<void()> action) {
+  /// Schedules `action` to run `delay` nanoseconds from now.  The task
+  /// rides down to the queue slot by reference, so a scheduled closure is
+  /// moved exactly once (plus once more when it fires).
+  EventId schedule_in(Duration delay, InlineTask&& action) {
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
   /// Schedules `action` at an absolute simulated instant.  Instants in the
   /// past are clamped to "now" (the event still fires, deterministically
   /// after already-queued events for the current instant).
-  EventId schedule_at(TimePoint when, std::function<void()> action) {
+  EventId schedule_at(TimePoint when, InlineTask&& action) {
     return queue_.schedule(when < now_ ? now_ : when, std::move(action));
   }
 

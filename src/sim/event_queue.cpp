@@ -1,60 +1,20 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <utility>
-
 namespace nestv::sim {
 
-EventId EventQueue::schedule(TimePoint when, std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  pending_.insert(id);
-  ++live_;
-  return id;
-}
-
+// Cancellation is the only cold entry point; everything the run loop
+// touches lives inline in the header.
 void EventQueue::cancel(EventId id) {
-  // Only events still in the heap can be cancelled; ids that already fired
-  // (or were never scheduled) are ignored so self-cancelling timers are
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  // Ids that already fired (or were never scheduled) no longer match their
+  // slot's generation and are ignored, so self-cancelling timers are
   // harmless.
-  if (pending_.erase(id) == 0) return;
-  cancelled_.insert(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return;
+  release_slot(slot);
   --live_;
-}
-
-void EventQueue::drop_cancelled_prefix() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    heap_.pop_back();
-  }
-}
-
-EventQueue::Entry EventQueue::pop_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Entry top = std::move(heap_.back());
-  heap_.pop_back();
-  return top;
-}
-
-TimePoint EventQueue::next_time() {
-  drop_cancelled_prefix();
-  assert(!heap_.empty() && "next_time() on empty queue");
-  return heap_.front().when;
-}
-
-TimePoint EventQueue::pop_and_run() {
-  drop_cancelled_prefix();
-  assert(!heap_.empty() && "pop_and_run() on empty queue");
-  Entry top = pop_top();
-  pending_.erase(top.id);
-  --live_;
-  top.action();
-  return top.when;
 }
 
 }  // namespace nestv::sim

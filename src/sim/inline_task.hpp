@@ -1,0 +1,140 @@
+// Small-buffer-optimized, move-only callable for the event hot path.
+//
+// Every scheduled event used to carry a std::function<void()>; libstdc++'s
+// inline buffer is 16 bytes and additionally requires trivially-copyable
+// functors, so any lambda that moves a Packet (or captures a shared_ptr)
+// heap-allocated its closure.  InlineTask stores closures up to
+// kInlineBytes in place — sized for the largest datapath lambda, a
+// forwarded Packet plus a flow-cache key plus a few words of context — and
+// only falls back to the heap for oversized or throwing-move functors.
+// Fallbacks are counted (per thread, so parallel bench sweeps don't race)
+// and reported by bench/abl_engine_perf as `tasks_heap`; the steady-state
+// datapath keeps that counter at zero.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nestv::sim {
+
+class InlineTask {
+ public:
+  /// Inline closure capacity.  The largest steady-state closure is the
+  /// forwarding continuation in NetworkStack::ip_rx_one: a moved Packet
+  /// (~104 bytes), a std::string interface name (32), an optional FlowKey
+  /// (~24) and a couple of pointers/ints — about 176 bytes.  192 leaves
+  /// headroom without bloating the event-queue slots.
+  static constexpr std::size_t kInlineBytes = 192;
+
+  InlineTask() noexcept = default;
+  InlineTask(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineTask> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineTask(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(static_cast<void*>(storage_)) =
+          new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+      ++heap_fallbacks_;
+    }
+  }
+
+  InlineTask(InlineTask&& other) noexcept { steal(other); }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { reset(); }
+
+  /// Destroys the held closure (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Invokes the closure.  Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Closures that did not fit inline on this thread (bench metric).
+  [[nodiscard]] static std::uint64_t heap_fallbacks() noexcept {
+    return heap_fallbacks_;
+  }
+  static void reset_heap_fallbacks() noexcept { heap_fallbacks_ = 0; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* get(void* s) noexcept {
+      return std::launder(reinterpret_cast<Fn*>(s));
+    }
+    static void invoke(void* s) { (*get(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*get(src)));
+      get(src)->~Fn();
+    }
+    static void destroy(void* s) noexcept { get(s)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* get(void* s) noexcept {
+      return *std::launder(reinterpret_cast<Fn**>(s));
+    }
+    static void invoke(void* s) { (*get(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      // Relocating a heap closure just moves the owning pointer.
+      *reinterpret_cast<Fn**>(dst) = get(src);
+    }
+    static void destroy(void* s) noexcept { delete get(s); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void steal(InlineTask& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+
+  inline static thread_local std::uint64_t heap_fallbacks_ = 0;
+};
+
+}  // namespace nestv::sim

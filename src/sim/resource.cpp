@@ -1,35 +1,4 @@
 #include "sim/resource.hpp"
 
-#include <utility>
-
-namespace nestv::sim {
-
-void SerialResource::charge(CpuCategory category, Duration work) {
-  for (const Sink& s : sinks_) {
-    // The bound category is the default; a per-item override replaces it
-    // for guest-side sinks but the host "guest" sink keeps its category
-    // (host time lent to a VM is guest time regardless of what the guest
-    // was doing with it).
-    const CpuCategory c =
-        s.category == CpuCategory::kGuest ? CpuCategory::kGuest : category;
-    s.account->charge(c, work);
-  }
-}
-
-void SerialResource::submit(Duration work, std::function<void()> done) {
-  submit_as(sinks_.empty() ? CpuCategory::kSys : sinks_.front().category,
-            work, std::move(done));
-}
-
-void SerialResource::submit_as(CpuCategory category, Duration work,
-                               std::function<void()> done) {
-  const TimePoint start =
-      busy_until_ > engine_->now() ? busy_until_ : engine_->now();
-  busy_until_ = start + work;
-  busy_time_ += work;
-  ++items_;
-  charge(category, work);
-  engine_->schedule_at(busy_until_, std::move(done));
-}
-
-}  // namespace nestv::sim
+// SerialResource is fully inline (see the header); this TU exists so the
+// build keeps a stable object for the target and future cold paths.

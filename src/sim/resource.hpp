@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,12 +39,25 @@ class SerialResource {
 
   /// Enqueues `work` nanoseconds of execution; runs `done` at completion.
   /// Work submitted while busy queues behind in-flight work (FIFO).
-  void submit(Duration work, std::function<void()> done);
+  /// Inline (with submit_as and charge): every simulated packet crosses
+  /// several resources, so these run hundreds of thousands of times per
+  /// wall second.
+  void submit(Duration work, InlineTask&& done) {
+    submit_as(sinks_.empty() ? CpuCategory::kSys : sinks_.front().category,
+              work, std::move(done));
+  }
 
   /// Same, but the charge category is overridden for this item only
   /// (e.g. softirq work executing on a general-purpose vCPU).
-  void submit_as(CpuCategory category, Duration work,
-                 std::function<void()> done);
+  void submit_as(CpuCategory category, Duration work, InlineTask&& done) {
+    const TimePoint start =
+        busy_until_ > engine_->now() ? busy_until_ : engine_->now();
+    busy_until_ = start + work;
+    busy_time_ += work;
+    ++items_;
+    charge(category, work);
+    engine_->schedule_at(busy_until_, std::move(done));
+  }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] TimePoint busy_until() const { return busy_until_; }
@@ -65,7 +77,17 @@ class SerialResource {
     CpuCategory category;
   };
 
-  void charge(CpuCategory category, Duration work);
+  void charge(CpuCategory category, Duration work) {
+    for (const Sink& s : sinks_) {
+      // The bound category is the default; a per-item override replaces it
+      // for guest-side sinks but the host "guest" sink keeps its category
+      // (host time lent to a VM is guest time regardless of what the guest
+      // was doing with it).
+      const CpuCategory c =
+          s.category == CpuCategory::kGuest ? CpuCategory::kGuest : category;
+      s.account->charge(c, work);
+    }
+  }
 
   Engine* engine_;
   std::string name_;

@@ -54,14 +54,19 @@ double RunningStats::cv() const {
 
 void Samples::add(double x) {
   xs_.push_back(x);
-  sorted_ = false;
+  sorted_valid_ = false;
 }
 
-void Samples::sort_if_needed() const {
-  if (!sorted_) {
-    std::sort(xs_.begin(), xs_.end());
-    sorted_ = true;
+// Rebuilds the sorted view lazily.  xs_ itself is never reordered: sorting
+// it in place (the old implementation) made values() return sorted data
+// after the first percentile query, corrupting insertion-order consumers.
+const std::vector<double>& Samples::sorted() const {
+  if (!sorted_valid_) {
+    sorted_xs_ = xs_;
+    std::sort(sorted_xs_.begin(), sorted_xs_.end());
+    sorted_valid_ = true;
   }
+  return sorted_xs_;
 }
 
 double Samples::mean() const {
@@ -80,25 +85,25 @@ double Samples::stddev() const {
 }
 
 double Samples::min() const {
-  sort_if_needed();
-  return xs_.empty() ? 0.0 : xs_.front();
+  if (xs_.empty()) return 0.0;
+  return sorted().front();
 }
 
 double Samples::max() const {
-  sort_if_needed();
-  return xs_.empty() ? 0.0 : xs_.back();
+  if (xs_.empty()) return 0.0;
+  return sorted().back();
 }
 
 double Samples::percentile(double p) const {
   if (xs_.empty()) return 0.0;
-  sort_if_needed();
-  if (p <= 0.0) return xs_.front();
-  if (p >= 100.0) return xs_.back();
-  const double rank = p / 100.0 * static_cast<double>(xs_.size() - 1);
+  const std::vector<double>& v = sorted();
+  if (p <= 0.0) return v.front();
+  if (p >= 100.0) return v.back();
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= xs_.size()) return xs_.back();
-  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
 }
 
 BoxStats box_stats(const Samples& s) {

@@ -53,13 +53,17 @@ class Samples {
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
+  /// Samples in insertion order — always.  Percentile queries sort a
+  /// separate view, so interleaving add()/percentile()/values() never
+  /// reorders what callers iterate (time-series consumers rely on it).
   [[nodiscard]] const std::vector<double>& values() const { return xs_; }
 
  private:
-  void sort_if_needed() const;
+  const std::vector<double>& sorted() const;
 
-  mutable std::vector<double> xs_;
-  mutable bool sorted_ = true;
+  std::vector<double> xs_;               ///< insertion order, never sorted
+  mutable std::vector<double> sorted_xs_;  ///< lazy sorted copy for quantiles
+  mutable bool sorted_valid_ = true;
 };
 
 /// Five-number summary + mean, as the paper's fig 8b table reports.

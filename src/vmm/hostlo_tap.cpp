@@ -34,9 +34,17 @@ void HostloTap::rx_from_queue(int from_queue, net::EthernetFrame frame) {
                                       static_cast<double>(frame.wire_bytes())));
   auto reflect = [this, f = std::move(frame)]() mutable {
     ++reflected_;
-    for (VirtioNic* q : queues_) {
+    // Reflect-to-all-queues is the datapath's canonical duplication point:
+    // every queue gets a genuine copy, except the last, which takes the
+    // original.
+    const std::size_t n = queues_.size();
+    for (std::size_t i = 0; i < n; ++i) {
       ++deliveries_;
-      q->deliver_to_guest(f);  // copy per queue
+      if (i + 1 == n) {
+        queues_[i]->deliver_to_guest(std::move(f));
+      } else {
+        queues_[i]->deliver_to_guest(f);
+      }
     }
   };
   if (host_kernel_ != nullptr) {

@@ -314,6 +314,29 @@ TEST(Samples, UnsortedInputHandled) {
   EXPECT_DOUBLE_EQ(s.median(), 3.0);
 }
 
+TEST(Samples, ValuesKeepInsertionOrderAcrossQuantileQueries) {
+  // Regression: percentile()/min()/max() used to sort the sample vector in
+  // place, so values() silently returned sorted data after the first
+  // quantile query.  Interleave mutation and queries and check the
+  // insertion order survives every step.
+  Samples s;
+  const std::vector<double> inserted{5.0, 1.0, 9.0, 3.0, 7.0};
+  s.add(inserted[0]);
+  s.add(inserted[1]);
+  s.add(inserted[2]);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);  // quantile query mid-stream
+  EXPECT_EQ(s.values(), (std::vector<double>{5.0, 1.0, 9.0}));
+  s.add(inserted[3]);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  s.add(inserted[4]);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_EQ(s.values(), inserted);  // still exactly the insertion order
+  // And the quantiles remain correct after the final mutation.
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
 TEST(Samples, BoxStatsOrdering) {
   Samples s;
   Rng r(11);

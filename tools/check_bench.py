@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Guard the deterministic benchmark metrics.
+
+Every bench writes ``BENCH_<name>.json`` with a flat metric list.  All
+simulated metrics are deterministic for a given seed (EXPERIMENTS.md:
+"all runs are deterministic"), so CI can hold them to exact expected
+values; only wall-clock readings (and allocator-version-dependent heap
+counters) legitimately vary between runs and machines.
+
+Modes:
+  snapshot <bench_dir> -o expected.json
+      Record the deterministic metrics of every BENCH_*.json in
+      <bench_dir> as the expected baseline.
+  check <bench_dir> --expected expected.json [--tolerance-pct P]
+      Fail (exit 1) if any deterministic metric is missing or deviates
+      from its expected value by more than P percent (default 0: exact,
+      which is the EXPERIMENTS.md contract for seeded runs).
+  diff <dir_a> <dir_b>
+      Fail if the deterministic metrics of the two directories differ at
+      all — used to prove ``--jobs N`` sweep output equals sequential.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Metric names containing these substrings are not simulation outputs:
+#   wall        - wall-clock timings (events_per_sec_wall, wall_seconds)
+#   heap_allocs - counts real allocator traffic; deterministic on one
+#                 machine but dependent on the C++ runtime's internal
+#                 allocation behaviour, so not comparable across images
+NONDETERMINISTIC_SUBSTRINGS = ("wall", "heap_allocs")
+
+
+def is_deterministic(name: str) -> bool:
+    return not any(s in name for s in NONDETERMINISTIC_SUBSTRINGS)
+
+
+def load_dir(bench_dir: str) -> dict:
+    """Returns {bench_name: {metric_name: value}} for deterministic metrics."""
+    out = {}
+    paths = sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json")))
+    if not paths:
+        sys.exit(f"error: no BENCH_*.json files in {bench_dir}")
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        out[doc["bench"]] = {
+            m["name"]: m["value"]
+            for m in doc["metrics"]
+            if is_deterministic(m["name"])
+        }
+    return out
+
+
+def compare(expected: dict, actual: dict, tolerance_pct: float,
+            expected_label: str, actual_label: str) -> int:
+    failures = 0
+    for bench, metrics in sorted(expected.items()):
+        if bench not in actual:
+            print(f"FAIL {bench}: present in {expected_label}, "
+                  f"missing from {actual_label}")
+            failures += 1
+            continue
+        for name, want in sorted(metrics.items()):
+            if name not in actual[bench]:
+                print(f"FAIL {bench}.{name}: metric missing from "
+                      f"{actual_label}")
+                failures += 1
+                continue
+            got = actual[bench][name]
+            if want == got:
+                continue
+            dev = abs(got - want) / abs(want) * 100.0 if want else float("inf")
+            if dev > tolerance_pct:
+                print(f"FAIL {bench}.{name}: expected {want!r}, got {got!r} "
+                      f"(deviation {dev:.4g}% > {tolerance_pct}%)")
+                failures += 1
+    for bench in sorted(set(actual) - set(expected)):
+        print(f"note: {bench} has no expected baseline yet "
+              f"(run snapshot to record it)")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    snap = sub.add_parser("snapshot")
+    snap.add_argument("bench_dir")
+    snap.add_argument("-o", "--output", required=True)
+
+    chk = sub.add_parser("check")
+    chk.add_argument("bench_dir")
+    chk.add_argument("--expected", required=True)
+    chk.add_argument("--tolerance-pct", type=float, default=0.0)
+
+    dif = sub.add_parser("diff")
+    dif.add_argument("dir_a")
+    dif.add_argument("dir_b")
+
+    args = ap.parse_args()
+
+    if args.mode == "snapshot":
+        snapshot = load_dir(args.bench_dir)
+        with open(args.output, "w") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+        n = sum(len(m) for m in snapshot.values())
+        print(f"recorded {n} deterministic metrics "
+              f"from {len(snapshot)} benches -> {args.output}")
+        return 0
+
+    if args.mode == "check":
+        with open(args.expected) as f:
+            expected = json.load(f)
+        actual = load_dir(args.bench_dir)
+        failures = compare(expected, actual, args.tolerance_pct,
+                           args.expected, args.bench_dir)
+        if failures:
+            print(f"{failures} metric(s) deviate")
+            return 1
+        print("all deterministic metrics match the expected baseline")
+        return 0
+
+    # diff: exact symmetric comparison.
+    a = load_dir(args.dir_a)
+    b = load_dir(args.dir_b)
+    failures = compare(a, b, 0.0, args.dir_a, args.dir_b)
+    failures += len(set(b) - set(a))
+    if failures:
+        print(f"{failures} difference(s) between {args.dir_a} and "
+              f"{args.dir_b}")
+        return 1
+    print("deterministic metrics are identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
