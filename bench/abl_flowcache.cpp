@@ -27,6 +27,7 @@ CachePoint nat_point(bool cached, std::uint32_t msg_bytes,
                      std::uint64_t seed) {
   scenario::TestbedConfig config;
   config.seed = seed;
+  const bench::StatScope scope;
   auto s = scenario::make_single_server(
       cached ? scenario::ServerMode::kNatFlowCache : scenario::ServerMode::kNat,
       5001, config);
@@ -35,8 +36,13 @@ CachePoint nat_point(bool cached, std::uint32_t msg_bytes,
   const auto st = np.run_tcp_stream(msg_bytes, sim::milliseconds(200));
 
   CachePoint out;
-  out.micro = {msg_bytes, st.throughput_mbps, rr.mean_latency_us,
-               rr.stddev_latency_us, rr.transactions};
+  out.micro = {msg_bytes,
+               st.throughput_mbps,
+               rr.mean_latency_us,
+               rr.stddev_latency_us,
+               rr.transactions,
+               scope.finish(s.bed->engine(),
+                            bench::netperf_packets(rr, st, msg_bytes))};
   const auto& cache = s.vm->stack().flow_cache();
   out.hit_rate = cache.hit_rate().ratio();
   out.hits = cache.hits();
@@ -49,6 +55,7 @@ CachePoint overlay_point(bool cached, std::uint32_t msg_bytes,
                          std::uint64_t seed) {
   scenario::TestbedConfig config;
   config.seed = seed;
+  const bench::StatScope scope;
   auto s = scenario::make_cross_vm(scenario::CrossVmMode::kOverlay, 6001,
                                    config);
   if (cached) {
@@ -62,8 +69,13 @@ CachePoint overlay_point(bool cached, std::uint32_t msg_bytes,
   const auto st = np.run_tcp_stream(msg_bytes, sim::milliseconds(200));
 
   CachePoint out;
-  out.micro = {msg_bytes, st.throughput_mbps, rr.mean_latency_us,
-               rr.stddev_latency_us, rr.transactions};
+  out.micro = {msg_bytes,
+               st.throughput_mbps,
+               rr.mean_latency_us,
+               rr.stddev_latency_us,
+               rr.transactions,
+               scope.finish(s.bed->engine(),
+                            bench::netperf_packets(rr, st, msg_bytes))};
   const auto& cache = s.server.vm->stack().flow_cache();
   out.hit_rate = cache.hit_rate().ratio();
   out.hits = cache.hits();
@@ -160,6 +172,10 @@ int main(int argc, char** argv) {
   report.add("overlay_uncached_stream_mbps_1280B", ovl_1280);
   report.add("overlay_cached_stream_mbps_1280B", ovl_cached_1280);
   report.add("overlay_cached_speedup_1280B", ovl_speedup);
+  bench::DatapathStats totals;
+  for (const auto& p : nat_points) totals += p.micro.stats;
+  for (const auto& p : ovl_points) totals += p.micro.stats;
+  bench::add_datapath_stats(report, totals);
   report.write();
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "json_report.hpp"
+#include "net/packet_pool.hpp"
 #include "scenario/cross_vm.hpp"
 #include "scenario/single_server.hpp"
 #include "sim/cpu.hpp"
@@ -93,12 +94,91 @@ inline std::uint64_t seed_from_args(int argc, char** argv) {
   return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
 }
 
+/// Per-run datapath statistics emitted into every bench's JSON: engine
+/// events, packet-pool traffic and deep frame copies.  All counters are
+/// engine-local or thread-local, so points measured on a parallel sweep
+/// produce the same numbers as a sequential run.
+struct DatapathStats {
+  std::uint64_t events = 0;           ///< queue events executed
+  std::uint64_t events_coalesced = 0; ///< completions folded by the burst layer
+  std::uint64_t pool_fresh = 0;       ///< pool misses (real allocations)
+  std::uint64_t pool_reuses = 0;      ///< pool hits
+  std::uint64_t frames_cloned = 0;    ///< deep EthernetFrame copies
+  std::uint64_t packets = 0;          ///< app-level packets moved
+
+  DatapathStats& operator+=(const DatapathStats& o) {
+    events += o.events;
+    events_coalesced += o.events_coalesced;
+    pool_fresh += o.pool_fresh;
+    pool_reuses += o.pool_reuses;
+    frames_cloned += o.frames_cloned;
+    packets += o.packets;
+    return *this;
+  }
+};
+
+/// Snapshots the thread-local pool counters at construction; finish()
+/// returns the deltas plus the engine's event counters.  Construct before
+/// building the Testbed so setup traffic is included consistently.
+class StatScope {
+ public:
+  StatScope()
+      : fresh0_(net::PacketPool::local().fresh_allocs()),
+        reuse0_(net::PacketPool::local().reuses()),
+        cloned0_(net::PacketPool::frames_cloned()) {}
+
+  [[nodiscard]] DatapathStats finish(sim::Engine& engine,
+                                     std::uint64_t packets) const {
+    auto& pool = net::PacketPool::local();
+    DatapathStats s;
+    s.events = engine.events_executed();
+    s.events_coalesced = engine.events_coalesced();
+    s.pool_fresh = pool.fresh_allocs() - fresh0_;
+    s.pool_reuses = pool.reuses() - reuse0_;
+    s.frames_cloned = net::PacketPool::frames_cloned() - cloned0_;
+    s.packets = packets;
+    return s;
+  }
+
+ private:
+  std::uint64_t fresh0_;
+  std::uint64_t reuse0_;
+  std::uint64_t cloned0_;
+};
+
+/// App-level packets of one Netperf point: request+response per RR
+/// transaction plus one msg-sized chunk per delivered stream byte run.
+inline std::uint64_t netperf_packets(const workload::RrResult& rr,
+                                     const workload::StreamResult& st,
+                                     std::uint32_t msg_bytes) {
+  return rr.transactions * 2 +
+         (st.bytes_delivered + msg_bytes - 1) / msg_bytes;
+}
+
+/// Adds the consolidated datapath stats of a bench run to its JSON (all
+/// deterministic, so tools/check_bench.py gates them; the CI bench job
+/// folds them into BENCH_summary.json for the cross-PR perf trajectory).
+inline void add_datapath_stats(JsonReport& report, const DatapathStats& s) {
+  const double packets =
+      s.packets ? static_cast<double>(s.packets) : 1.0;
+  report.add("packets_total", static_cast<double>(s.packets));
+  report.add("events_total", static_cast<double>(s.events));
+  report.add("events_coalesced", static_cast<double>(s.events_coalesced));
+  report.add("events_per_packet", static_cast<double>(s.events) / packets);
+  report.add("pool_fresh_allocs", static_cast<double>(s.pool_fresh));
+  report.add("pool_reuses", static_cast<double>(s.pool_reuses));
+  report.add("pool_allocs_per_packet",
+             static_cast<double>(s.pool_fresh) / packets);
+  report.add("frames_cloned", static_cast<double>(s.frames_cloned));
+}
+
 struct MicroPoint {
   std::uint32_t msg_bytes = 0;
   double throughput_mbps = 0.0;
   double latency_us = 0.0;
   double latency_stddev_us = 0.0;
   std::uint64_t transactions = 0;
+  DatapathStats stats;
 };
 
 /// One Netperf point (UDP_RR + TCP_STREAM) on a single-server scenario.
@@ -106,15 +186,20 @@ inline MicroPoint micro_point(scenario::ServerMode mode,
                               std::uint32_t msg_bytes, std::uint64_t seed,
                               sim::Duration rr_window = sim::milliseconds(150),
                               sim::Duration stream_window =
-                                  sim::milliseconds(200)) {
-  scenario::TestbedConfig config;
+                                  sim::milliseconds(200),
+                              scenario::TestbedConfig config = {}) {
   config.seed = seed;
+  const StatScope scope;
   auto s = scenario::make_single_server(mode, 5001, config);
   workload::Netperf np(s.bed->engine(), s.client, s.server, 5001);
   const auto rr = np.run_udp_rr(msg_bytes, rr_window);
   const auto st = np.run_tcp_stream(msg_bytes, stream_window);
-  return {msg_bytes, st.throughput_mbps, rr.mean_latency_us,
-          rr.stddev_latency_us, rr.transactions};
+  return {msg_bytes,
+          st.throughput_mbps,
+          rr.mean_latency_us,
+          rr.stddev_latency_us,
+          rr.transactions,
+          scope.finish(s.bed->engine(), netperf_packets(rr, st, msg_bytes))};
 }
 
 /// One Netperf point on a cross-VM scenario (fig 10).
@@ -122,15 +207,20 @@ inline MicroPoint cross_point(scenario::CrossVmMode mode,
                               std::uint32_t msg_bytes, std::uint64_t seed,
                               sim::Duration rr_window = sim::milliseconds(150),
                               sim::Duration stream_window =
-                                  sim::milliseconds(200)) {
-  scenario::TestbedConfig config;
+                                  sim::milliseconds(200),
+                              scenario::TestbedConfig config = {}) {
   config.seed = seed;
+  const StatScope scope;
   auto s = scenario::make_cross_vm(mode, 6001, config);
   workload::Netperf np(s.bed->engine(), s.client, s.server, 6001);
   const auto rr = np.run_udp_rr(msg_bytes, rr_window);
   const auto st = np.run_tcp_stream(msg_bytes, stream_window);
-  return {msg_bytes, st.throughput_mbps, rr.mean_latency_us,
-          rr.stddev_latency_us, rr.transactions};
+  return {msg_bytes,
+          st.throughput_mbps,
+          rr.mean_latency_us,
+          rr.stddev_latency_us,
+          rr.transactions,
+          scope.finish(s.bed->engine(), netperf_packets(rr, st, msg_bytes))};
 }
 
 enum class MacroApp { kMemcached, kNginx, kKafka };

@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
   report.add("nat_stream_mbps_1280B", nat_1280_tput);
   report.add("nat_throughput_degradation_pct_1280B", degr, 68.0);
   report.add("nat_latency_increase_pct_1280B", lat_inc, 31.0);
+  bench::DatapathStats totals;
+  for (const auto& p : points) totals += p.stats;
+  bench::add_datapath_stats(report, totals);
   report.write();
   return 0;
 }

@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
              100.0 * (brf_lat_1280 / nat_lat_1280 - 1.0), -18.4);
   report.add("nat_1024_to_1280_scaling_pct",
              100.0 * (nat_1280 / nat_1024 - 1.0));
+  bench::DatapathStats totals;
+  for (const auto& p : points) totals += p.stats;
+  bench::add_datapath_stats(report, totals);
   report.write();
   return 0;
 }

@@ -81,6 +81,9 @@ int main(int argc, char** argv) {
              100.0 * (lat_1024[1] / lat_1024[3] - 1.0), -89.8);
   report.add("hostlo_over_samenode_latency_ratio_1024B",
              lat_1024[1] / lat_1024[0], 2.0);
+  bench::DatapathStats totals;
+  for (const auto& p : points) totals += p.stats;
+  bench::add_datapath_stats(report, totals);
   report.write();
   return 0;
 }

@@ -9,10 +9,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/burst_queue.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
@@ -44,6 +47,16 @@ class Device {
   /// Frame arrives on `port` (after hop latency and any peer processing).
   virtual void ingress(EthernetFrame frame, int port) = 0;
 
+  /// Burst delivery from a coalesced hop: the frames of one same-timestamp
+  /// group arrive through this back-to-back, followed by exactly one
+  /// ingress_burst_end().  The default treats each frame as a plain
+  /// ingress; burst-aware receivers (PortBackend) buffer and flush the
+  /// whole train synchronously at the end marker, without an extra event.
+  virtual void ingress_burst(EthernetFrame frame, int port) {
+    ingress(std::move(frame), port);
+  }
+  virtual void ingress_burst_end(int port) { (void)port; }
+
   /// Binds per-frame work to a serialized CPU; `category` is the CPU time
   /// bucket charged (e.g. kSoft for bridge/netfilter work in softirq).
   void set_cpu(sim::SerialResource* cpu, sim::CpuCategory category) {
@@ -66,6 +79,13 @@ class Device {
   /// frame had to be dropped due to backlog.
   bool process(sim::Duration work, sim::InlineTask&& then);
 
+  /// Batched variant of process(): when the cost model enables bursts
+  /// (batch_size > 1) completions accumulated on the bound CPU share one
+  /// drain event (sim::BatchSink) instead of scheduling one each.  CPU
+  /// accounting and the backlog drop check are identical to process();
+  /// with batching off this IS process().
+  bool process_batched(sim::Duration work, sim::InlineTask&& then);
+
   /// Sends `frame` out of `port`; it reaches the peer after hop latency.
   void transmit(int port, EthernetFrame frame);
 
@@ -77,7 +97,15 @@ class Device {
   struct PortSlot {
     Device* peer = nullptr;
     int peer_port = -1;
+    /// Burst mode: frames in flight on this link.  All frames transmitted
+    /// while a hop event is pending ride that event — the receiver picks
+    /// up whatever is in the ring when its poll fires, like a NIC RX ring.
+    sim::BurstQueue<EthernetFrame> pending;
+    bool hop_armed = false;
   };
+
+  /// Delivers every frame queued on `port` before this event fired.
+  void deliver_hop(int port);
 
   sim::Engine* engine_;
   std::string name_;
@@ -85,6 +113,7 @@ class Device {
   std::vector<PortSlot> ports_;
   sim::SerialResource* cpu_ = nullptr;
   sim::CpuCategory cpu_category_ = sim::CpuCategory::kSys;
+  std::unique_ptr<sim::BatchSink> batch_sink_;
   sim::Duration max_backlog_ = sim::milliseconds(5);
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;

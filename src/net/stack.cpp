@@ -82,6 +82,9 @@ int NetworkStack::add_interface(InterfaceBackend& backend,
   ifaces_.push_back(std::move(itf));
   backend.set_rx(
       [this, ifindex](EthernetFrame f) { rx(ifindex, std::move(f)); });
+  backend.set_rx_train([this, ifindex](std::vector<EthernetFrame> fs) {
+    rx_train(ifindex, std::move(fs));
+  });
   if (cfg.subnet.prefix_len() > 0) {
     routes_.add_connected(cfg.subnet, ifindex);
   }
@@ -144,7 +147,43 @@ void NetworkStack::softirq_run(sim::Duration work, sim::InlineTask&& then) {
     }
     return;
   }
+  if (costs_->batch_size > 1) {
+    if (!softirq_sink_ || &softirq_sink_->resource() != softirq_) {
+      softirq_sink_ =
+          std::make_unique<sim::BatchSink>(*softirq_, costs_->napi_budget);
+    }
+    softirq_sink_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
+    return;
+  }
   softirq_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
+}
+
+void NetworkStack::resource_run(sim::SerialResource* res,
+                                sim::CpuCategory category, sim::Duration work,
+                                sim::InlineTask&& then) {
+  if (res == nullptr) {
+    if (work == 0) {
+      then();
+    } else {
+      engine_->schedule_in(work, std::move(then));
+    }
+    return;
+  }
+  if (costs_->batch_size > 1) {
+    // Submissions cluster by resource (an app's send loop), so a one-entry
+    // cache skips the hash lookup on the hot path.
+    if (res != last_app_res_) {
+      auto& sink = app_sinks_[res];
+      if (!sink) {
+        sink = std::make_unique<sim::BatchSink>(*res, costs_->napi_budget);
+      }
+      last_app_res_ = res;
+      last_app_sink_ = sink.get();
+    }
+    last_app_sink_->submit_as(category, work, std::move(then));
+    return;
+  }
+  res->submit_as(category, work, std::move(then));
 }
 
 // ---- RX path ----------------------------------------------------------------
@@ -182,9 +221,79 @@ void NetworkStack::rx(int ifindex, EthernetFrame frame) {
   ip_rx(ifindex, std::move(p));
 }
 
-void NetworkStack::gro_rx(int ifindex, Packet p) {
+void NetworkStack::rx_train(int ifindex, std::vector<EthernetFrame> frames) {
+  if (frames.size() == 1) {
+    rx(ifindex, std::move(frames[0]));
+    return;
+  }
+  const Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
+  sim::Duration carry = 0;  // pooled per-frame softirq charges
+  const auto flush_carry = [this, &carry] {
+    if (carry != 0) {
+      softirq_run(carry, [] {});
+      carry = 0;
+    }
+  };
+  for (EthernetFrame& frame : frames) {
+    if (capture_ != nullptr) capture_->record(engine_->now(), frame);
+    if (!frame.dst.is_broadcast() && !frame.dst.is_multicast() &&
+        frame.dst != itf.cfg.mac) {
+      // MAC filter miss: the lookup cost pools with the other per-frame
+      // charges of this train.
+      carry += costs_->arp_hit;
+      ++dropped_;
+      continue;
+    }
+    if (frame.ethertype == 0x0806) {
+      flush_carry();
+      softirq_run(costs_->arp_hit, [this, ifindex, f = std::move(frame)] {
+        handle_arp(ifindex, f);
+      });
+      continue;
+    }
+    if (frame.ethertype != 0x0800) {
+      ++dropped_;
+      continue;
+    }
+    Packet p = std::move(frame.packet);
+    if (nestv_trace_enabled())
+      std::fprintf(stderr, "[%s t=%llu] rx if=%d %s\n", name_.c_str(),
+                   (unsigned long long)engine_->now(), ifindex,
+                   p.describe().c_str());
+    p.ct_id = 0;
+    p.ct_reply = false;
+    if (gro_enabled_ && forced_resegment_ == 0 && p.proto == L4Proto::kTcp &&
+        p.payload_bytes > 0 && !p.inner) {
+      gro_rx(ifindex, std::move(p), &carry);
+      continue;
+    }
+    // Non-GRO packets run their protocol work in submission order behind
+    // whatever charges pooled so far.
+    flush_carry();
+    ip_rx(ifindex, std::move(p));
+  }
+  flush_carry();
+}
+
+void NetworkStack::gro_rx(int ifindex, Packet p, sim::Duration* carry) {
   const ConnKey key{p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto};
   auto it = gro_flows_.find(key);
+  // In train mode the per-frame merge charges pool in *carry; they must be
+  // submitted before any flush so the flushed packet's protocol work queues
+  // behind them on softirq, same order as per-frame delivery.
+  const auto flush_carry = [this, carry] {
+    if (carry != nullptr && *carry != 0) {
+      softirq_run(*carry, [] {});
+      *carry = 0;
+    }
+  };
+  const auto charge_frame = [this, carry] {
+    if (carry != nullptr) {
+      *carry += costs_->gro_pkt;
+    } else {
+      softirq_run(costs_->gro_pkt, [] {});
+    }
+  };
 
   // Merge only strictly in-order continuations below the 64KB IP limit.
   if (it != gro_flows_.end()) {
@@ -194,6 +303,7 @@ void NetworkStack::gro_rx(int ifindex, Packet p) {
     if (!contiguous ||
         flow.merged.payload_bytes + p.payload_bytes > 65000 ||
         flow.ifindex != ifindex) {
+      flush_carry();
       gro_flush(key);
       it = gro_flows_.end();
     }
@@ -208,12 +318,13 @@ void NetworkStack::gro_rx(int ifindex, Packet p) {
     auto [ins, ok] = gro_flows_.emplace(key, std::move(flow));
     (void)ok;
     if (flush_now) {
+      flush_carry();
       gro_flush(key);
     } else {
       ins->second.flush_timer = engine_->schedule_in(
           costs_->gro_timeout, [this, key] { gro_flush(key); });
     }
-    softirq_run(costs_->gro_pkt, [] {});
+    charge_frame();
     return;
   }
 
@@ -223,8 +334,9 @@ void NetworkStack::gro_rx(int ifindex, Packet p) {
   flow.merged.tcp_flags.psh = flow.merged.tcp_flags.psh || p.tcp_flags.psh;
   flow.merged.tcp_flags.fin = flow.merged.tcp_flags.fin || p.tcp_flags.fin;
   ++flow.count;
-  softirq_run(costs_->gro_pkt, [] {});
+  charge_frame();
   if (flow.merged.tcp_flags.psh || flow.merged.tcp_flags.fin) {
+    flush_carry();
     gro_flush(key);
   }
 }
@@ -482,8 +594,8 @@ void NetworkStack::deliver_udp(Packet p) {
   // Wakeup latency, then the recvfrom() on the app's CPU.
   engine_->schedule_in(c.rx_wakeup, [this, &bind, d, app_cost]() mutable {
     if (bind.app != nullptr) {
-      bind.app->submit_as(sim::CpuCategory::kSys, app_cost,
-                          [&bind, d]() mutable { bind.handler(d); });
+      resource_run(bind.app, sim::CpuCategory::kSys, app_cost,
+                   [&bind, d]() mutable { bind.handler(d); });
     } else {
       bind.handler(d);
     }
@@ -857,8 +969,10 @@ void NetworkStack::udp_send(Ipv4Address src_ip, std::uint16_t src_port,
   // inline buffer (a task cannot nest inside another task's storage) and
   // put an allocation back on the per-datagram path.
   if (app != nullptr) {
-    app->submit_as(sim::CpuCategory::kSys, app_cost, std::move(emit));
-    if (on_sent) app->submit_as(sim::CpuCategory::kSys, 0, std::move(on_sent));
+    resource_run(app, sim::CpuCategory::kSys, app_cost, std::move(emit));
+    if (on_sent) {
+      resource_run(app, sim::CpuCategory::kSys, 0, std::move(on_sent));
+    }
   } else {
     emit();
     if (on_sent) on_sent();

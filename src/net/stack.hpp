@@ -184,6 +184,14 @@ class NetworkStack {
   [[nodiscard]] const sim::CostModel& costs() const { return *costs_; }
   [[nodiscard]] sim::SerialResource* softirq() { return softirq_; }
 
+  /// Runs `work` on `res` then `then`, like SerialResource::submit_as, but
+  /// in burst mode (batch_size > 1) items for the same resource share drain
+  /// events through a per-resource BatchSink — this is how app-side syscall
+  /// pairs (send + its on-sent continuation) stop costing two events each.
+  /// `res == nullptr` degrades to a pure delay, as the call sites did.
+  void resource_run(sim::SerialResource* res, sim::CpuCategory category,
+                    sim::Duration work, sim::InlineTask&& then);
+
   // ---- UDP ----------------------------------------------------------------
   struct UdpDelivery {
     std::uint32_t bytes = 0;
@@ -247,6 +255,12 @@ class NetworkStack {
   // ---- datapath (called by backends / internals) -------------------------
   void rx(int ifindex, EthernetFrame frame);
 
+  /// Burst delivery from a batched backend (one virtio NAPI poll cycle):
+  /// the frames traverse the same RX pipeline as rx(), but their per-frame
+  /// softirq charges (MAC filter, GRO merges) coalesce into shared softirq
+  /// items, so a k-frame train costs O(1) events instead of O(k).
+  void rx_train(int ifindex, std::vector<EthernetFrame> frames);
+
   /// L4 -> network: runs OUTPUT/POSTROUTING, routes and transmits.
   /// All processing is charged to softirq.
   void emit_packet(Packet p);
@@ -308,7 +322,11 @@ class NetworkStack {
   [[nodiscard]] bool is_local_address(Ipv4Address a) const;
 
   void handle_arp(int ifindex, const EthernetFrame& frame);
-  void gro_rx(int ifindex, Packet p);
+  /// `carry`, when non-null (train delivery), accumulates this frame's
+  /// gro_pkt charge instead of submitting a softirq item per frame; any
+  /// accumulated charge is flushed before a merge triggers gro_flush so
+  /// softirq occupancy keeps the per-frame FIFO order.
+  void gro_rx(int ifindex, Packet p, sim::Duration* carry = nullptr);
   void gro_flush(const ConnKey& key);
   void ip_rx(int ifindex, Packet p);
   void ip_rx_one(int ifindex, Packet p);
@@ -345,6 +363,17 @@ class NetworkStack {
   std::string name_;
   const sim::CostModel* costs_;
   sim::SerialResource* softirq_;
+  /// Burst mode: softirq work items (several per packet) share drain events
+  /// instead of scheduling one completion each — the ksoftirqd half of the
+  /// datapath's event coalescing.  Unused when batch_size <= 1.
+  std::unique_ptr<sim::BatchSink> softirq_sink_;
+  /// Burst mode: one BatchSink per app resource submitting through this
+  /// stack (resource_run), with a one-entry lookup cache.  Unused when
+  /// batch_size <= 1.
+  std::unordered_map<sim::SerialResource*, std::unique_ptr<sim::BatchSink>>
+      app_sinks_;
+  sim::SerialResource* last_app_res_ = nullptr;
+  sim::BatchSink* last_app_sink_ = nullptr;
 
   std::vector<Interface> ifaces_;  ///< [0] is loopback
   RoutingTable routes_;

@@ -60,9 +60,10 @@ void TcpConnection::app_send(std::uint32_t bytes, sim::InlineTask&& on_queued) {
   // zero-cost FIFO item instead of being captured (an InlineTask does not
   // fit inside another task's inline storage).
   if (app_ != nullptr) {
-    app_->submit_as(sim::CpuCategory::kSys, cost, std::move(push));
+    stack_->resource_run(app_, sim::CpuCategory::kSys, cost, std::move(push));
     if (on_queued) {
-      app_->submit_as(sim::CpuCategory::kSys, 0, std::move(on_queued));
+      stack_->resource_run(app_, sim::CpuCategory::kSys, 0,
+                           std::move(on_queued));
     }
   } else {
     push();
@@ -359,7 +360,8 @@ void TcpConnection::app_wakeup_flush() {
     if (on_receive_) on_receive_(bytes);
   };
   if (app_ != nullptr) {
-    app_->submit_as(sim::CpuCategory::kSys, cost, std::move(deliver));
+    stack_->resource_run(app_, sim::CpuCategory::kSys, cost,
+                         std::move(deliver));
   } else {
     deliver();
   }

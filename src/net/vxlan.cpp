@@ -49,7 +49,7 @@ void VxlanDevice::encap_to(Ipv4Address vtep, EthernetFrame inner) {
       c.vxlan_encap_pkt +
       static_cast<sim::Duration>(c.vxlan_copy_byte *
                                  static_cast<double>(inner.wire_bytes()));
-  process(work, [this, vtep, inner = std::move(inner)]() mutable {
+  process_batched(work, [this, vtep, inner = std::move(inner)]() mutable {
     ++encap_;
     Packet outer;
     outer.src_ip = local_vtep_;
@@ -78,7 +78,7 @@ void VxlanDevice::on_vtep_datagram(NetworkStack::UdpDelivery& d) {
                                  static_cast<double>(d.inner->wire_bytes()));
   // The VTEP is the delivery's sole consumer: steal the inner frame.
   EthernetFrame inner = std::move(*d.inner);
-  process(work, [this, f = std::move(inner)]() mutable {
+  process_batched(work, [this, f = std::move(inner)]() mutable {
     ++decap_;
     transmit(0, std::move(f));
   });

@@ -1,0 +1,62 @@
+// Allocation-free FIFO for burst buffers.
+//
+// The burst datapath queues large payloads (frames, completion callbacks)
+// at every coalescing point.  std::deque allocates a fresh node every few
+// elements for such types, which shows up directly in the simulator's
+// wall-clock hot path (abl_engine_perf counts heap allocations per
+// packet).  BurstQueue is a flat vector with a head index: pops advance
+// the head, and the buffer rewinds when the queue empties (or compacts
+// once the dead prefix dominates), so steady-state push/pop traffic
+// reuses the same storage.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nestv::sim {
+
+template <typename T>
+class BurstQueue {
+ public:
+  [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+
+  void push_back(T v) { buf_.push_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    return buf_.emplace_back(std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+  [[nodiscard]] T& back() { return buf_.back(); }
+  [[nodiscard]] const T& back() const { return buf_.back(); }
+
+  /// i-th element from the front (0 == front()).
+  [[nodiscard]] T& operator[](std::size_t i) { return buf_[head_ + i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return buf_[head_ + i];
+  }
+
+  /// Popped slots hold moved-from values until the rewind; the compaction
+  /// below bounds that dead prefix when the queue never fully drains.
+  void pop_front() {
+    ++head_;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ > 64 && head_ * 2 >= buf_.size()) {
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace nestv::sim

@@ -99,6 +99,22 @@ struct CostModel {
   /// guest takes one interrupt + ring round-trip per wire frame.
   Duration hostlo_endpoint_pkt = 550;
 
+  // ---- burst datapath (kick coalescing + NAPI polling) ------------------
+  /// Work items a batched resource completion may coalesce behind one
+  /// engine event (sim::BatchSink), and the master switch for the burst
+  /// datapath: 1 disables batching entirely and every component takes the
+  /// exact pre-burst one-event-per-frame code path (CI gates that the
+  /// batch_size=1 run is bit-identical to the unbatched engine).
+  std::uint32_t batch_size = 1;
+  /// Max descriptors drained per virtio kick / NAPI poll cycle; mirrors
+  /// the kernel's net.core netdev_budget per-device cap of 64.
+  std::uint32_t napi_budget = 64;
+  /// Guest->host doorbell (ioeventfd kick) or host->guest interrupt
+  /// injection.  Paid once per burst when batching is on: event
+  /// suppression (VIRTIO_F_EVENT_IDX) elides the per-frame notifications
+  /// that the unbatched model folds into virtio_ring_pkt.
+  Duration virtio_kick = 400;
+
   // ---- MemPipe (section 4.3.2's shared-memory alternative) --------------
   Duration mempipe_pkt = 350;      ///< ring slot claim + event notification
   double mempipe_copy_byte = 0.05; ///< memcpy through shared pages

@@ -18,6 +18,9 @@ Modes:
   diff <dir_a> <dir_b>
       Fail if the deterministic metrics of the two directories differ at
       all — used to prove ``--jobs N`` sweep output equals sequential.
+  summarize <bench_dir> -o BENCH_summary.json
+      Consolidate every BENCH_*.json (all metrics, wall-clock included)
+      into one artifact for CI upload and cross-run comparison.
 """
 
 import argparse
@@ -38,10 +41,14 @@ def is_deterministic(name: str) -> bool:
     return not any(s in name for s in NONDETERMINISTIC_SUBSTRINGS)
 
 
-def load_dir(bench_dir: str) -> dict:
-    """Returns {bench_name: {metric_name: value}} for deterministic metrics."""
+def load_dir(bench_dir: str, deterministic_only: bool = True) -> dict:
+    """Returns {bench_name: {metric_name: value}}."""
     out = {}
     paths = sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json")))
+    # The consolidated artifact lives beside the per-bench files; it is an
+    # output of this script, never an input.
+    paths = [p for p in paths
+             if os.path.basename(p) != "BENCH_summary.json"]
     if not paths:
         sys.exit(f"error: no BENCH_*.json files in {bench_dir}")
     for path in paths:
@@ -50,7 +57,7 @@ def load_dir(bench_dir: str) -> dict:
         out[doc["bench"]] = {
             m["name"]: m["value"]
             for m in doc["metrics"]
-            if is_deterministic(m["name"])
+            if not deterministic_only or is_deterministic(m["name"])
         }
     return out
 
@@ -96,10 +103,18 @@ def main() -> int:
     chk.add_argument("bench_dir")
     chk.add_argument("--expected", required=True)
     chk.add_argument("--tolerance-pct", type=float, default=0.0)
+    chk.add_argument("--require-zero", action="append", default=[],
+                     metavar="BENCH.METRIC",
+                     help="fail unless this metric is present and exactly 0 "
+                          "(e.g. abl_batching.batch1_equivalence_max_delta)")
 
     dif = sub.add_parser("diff")
     dif.add_argument("dir_a")
     dif.add_argument("dir_b")
+
+    summ = sub.add_parser("summarize")
+    summ.add_argument("bench_dir")
+    summ.add_argument("-o", "--output", required=True)
 
     args = ap.parse_args()
 
@@ -119,10 +134,33 @@ def main() -> int:
         actual = load_dir(args.bench_dir)
         failures = compare(expected, actual, args.tolerance_pct,
                            args.expected, args.bench_dir)
+        for spec in args.require_zero:
+            bench, _, metric = spec.partition(".")
+            got = actual.get(bench, {}).get(metric)
+            if got is None:
+                print(f"FAIL {spec}: required-zero metric missing")
+                failures += 1
+            elif got != 0:
+                print(f"FAIL {spec}: expected exactly 0, got {got!r}")
+                failures += 1
         if failures:
             print(f"{failures} metric(s) deviate")
             return 1
         print("all deterministic metrics match the expected baseline")
+        return 0
+
+    if args.mode == "summarize":
+        benches = load_dir(args.bench_dir, deterministic_only=False)
+        summary = {
+            "benches": benches,
+            "bench_count": len(benches),
+            "metric_count": sum(len(m) for m in benches.values()),
+        }
+        with open(args.output, "w") as f:
+            json.dump(summary, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"consolidated {summary['metric_count']} metrics from "
+              f"{summary['bench_count']} benches -> {args.output}")
         return 0
 
     # diff: exact symmetric comparison.
