@@ -251,6 +251,7 @@ int main(int argc, char** argv) {
   report.add("logical_events_per_sec_wall_batched",
              batched.logical_events_per_sec());
   report.add("batching_events_per_sec_speedup_wall", speedup);
+  report.set_execution_info(1, 1, {static_cast<std::uint64_t>(plain.events)});
   report.write();
   return 0;
 }

@@ -176,6 +176,7 @@ int main(int argc, char** argv) {
   for (const auto& p : nat_points) totals += p.micro.stats;
   for (const auto& p : ovl_points) totals += p.micro.stats;
   bench::add_datapath_stats(report, totals);
+  bench::record_execution(report, args, totals);
   report.write();
   return 0;
 }

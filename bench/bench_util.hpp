@@ -28,10 +28,14 @@
 
 namespace nestv::bench {
 
-/// Command line shared by every bench: `[seed] [--jobs N]`.
+/// Command line shared by every bench: `[seed] [--jobs N] [--shards N]`.
+/// `--jobs` parallelizes across a sweep's measurement points; `--shards`
+/// parallelizes inside one simulation (benches that drive a
+/// ShardedConductor — abl_sharding; 0 = the bench's own sweep/default).
 struct BenchArgs {
   std::uint64_t seed = 42;
   int jobs = 1;
+  int shards = 0;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -41,11 +45,16 @@ inline BenchArgs parse_args(int argc, char** argv) {
       a.jobs = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       a.jobs = static_cast<int>(std::strtol(argv[i] + 7, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      a.shards = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      a.shards = static_cast<int>(std::strtol(argv[i] + 9, nullptr, 10));
     } else if (argv[i][0] != '-') {
       a.seed = std::strtoull(argv[i], nullptr, 10);
     }
   }
   if (a.jobs < 1) a.jobs = 1;
+  if (a.shards < 0) a.shards = 0;
   return a;
 }
 
@@ -170,6 +179,16 @@ inline void add_datapath_stats(JsonReport& report, const DatapathStats& s) {
   report.add("pool_allocs_per_packet",
              static_cast<double>(s.pool_fresh) / packets);
   report.add("frames_cloned", static_cast<double>(s.frames_cloned));
+}
+
+/// Records the execution shape of a single-engine bench: one shard, the
+/// sweep's worker threads, and the summed engine events of the measured
+/// points as that shard's event count.  Sharded benches call
+/// JsonReport::set_execution_info directly with the conductor's numbers.
+inline void record_execution(JsonReport& report, const BenchArgs& args,
+                             const DatapathStats& total) {
+  report.set_execution_info(1, static_cast<unsigned>(args.jobs),
+                            {total.events});
 }
 
 struct MicroPoint {

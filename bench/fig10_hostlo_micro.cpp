@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
   bench::DatapathStats totals;
   for (const auto& p : points) totals += p.stats;
   bench::add_datapath_stats(report, totals);
+  bench::record_execution(report, args, totals);
   report.write();
   return 0;
 }

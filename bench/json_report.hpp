@@ -33,6 +33,19 @@ class JsonReport {
     metrics_.push_back(Metric{metric, value, paper_target});
   }
 
+  /// Records how the simulation executed: conductor shards, worker
+  /// threads, and events per shard.  Serialized as top-level fields (not
+  /// metrics) because they describe the execution, not the simulated
+  /// system — check_bench.py folds them into BENCH_summary.json but never
+  /// gates them.  Defaults (1 shard, 1 worker) describe every
+  /// single-engine bench; benches driving a ShardedConductor override.
+  void set_execution_info(int shards, unsigned worker_threads,
+                          std::vector<std::uint64_t> per_shard_events) {
+    shards_ = shards;
+    worker_threads_ = worker_threads;
+    per_shard_events_ = std::move(per_shard_events);
+  }
+
   /// Writes BENCH_<name>.json into the working directory.  The file is
   /// assembled under a temp name and renamed into place so an interrupted
   /// run never leaves a torn JSON behind.
@@ -47,6 +60,14 @@ class JsonReport {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"seed\": %llu,\n",
                  name_.c_str(), static_cast<unsigned long long>(seed_));
+    std::fprintf(f, "  \"shards\": %d,\n  \"worker_threads\": %u,\n",
+                 shards_, worker_threads_);
+    std::fprintf(f, "  \"per_shard_events\": [");
+    for (std::size_t i = 0; i < per_shard_events_.size(); ++i) {
+      std::fprintf(f, "%s%llu", i ? ", " : "",
+                   static_cast<unsigned long long>(per_shard_events_[i]));
+    }
+    std::fprintf(f, "],\n");
     std::fprintf(f, "  \"metrics\": [\n");
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];
@@ -89,6 +110,9 @@ class JsonReport {
 
   std::string name_;
   std::uint64_t seed_;
+  int shards_ = 1;
+  unsigned worker_threads_ = 1;
+  std::vector<std::uint64_t> per_shard_events_;
   std::vector<Metric> metrics_;
   bool written_ = false;
 };

@@ -1,7 +1,10 @@
 #include "net/device.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <utility>
+
+#include "sim/sharded_conductor.hpp"
 
 namespace nestv::net {
 
@@ -28,6 +31,43 @@ std::pair<int, int> Device::link(Device& a, Device& b) {
   const int pb = b.add_port();
   connect(a, pa, b, pb);
   return {pa, pb};
+}
+
+void Device::connect_wire(sim::ShardedConductor* conductor, Device& a,
+                          int pa, Device& b, int pb,
+                          sim::Duration wire_latency) {
+  assert(wire_latency > 0);
+  connect(a, pa, b, pb);
+  PortSlot& sa = a.ports_[static_cast<std::size_t>(pa)];
+  PortSlot& sb = b.ports_[static_cast<std::size_t>(pb)];
+  sa.wire_latency = wire_latency;
+  sb.wire_latency = wire_latency;
+  if (conductor == nullptr) {
+    // No equivalence contract without a conductor; ranks only need to be
+    // unique within the process for a total same-instant order.
+    static std::atomic<std::uint64_t> plain_ranks{0};
+    sa.wire_rank = plain_ranks.fetch_add(1, std::memory_order_relaxed);
+    sb.wire_rank = plain_ranks.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Ranks come from the conductor in setup order: two runs that build the
+  // same world assign the same rank to the same link direction, which is
+  // what lets the shards=1 and shards=N runs compare bit-for-bit.
+  sa.wire_rank = conductor->alloc_wire_rank();
+  sb.wire_rank = conductor->alloc_wire_rank();
+  const int shard_a = conductor->shard_of(*a.engine_);
+  const int shard_b = conductor->shard_of(*b.engine_);
+  assert(shard_a >= 0 && shard_b >= 0 &&
+         "connect_wire: both devices must live on conductor shards");
+  if (shard_a == shard_b) return;  // same shard: plain scheduling suffices
+  assert(wire_latency >= conductor->lookahead() &&
+         "cross-shard wire shorter than the conductor's lookahead");
+  sa.fabric = conductor;
+  sa.self_shard = shard_a;
+  sa.peer_shard = shard_b;
+  sb.fabric = conductor;
+  sb.self_shard = shard_b;
+  sb.peer_shard = shard_a;
 }
 
 bool Device::process(sim::Duration work, sim::InlineTask&& then) {
@@ -73,6 +113,31 @@ void Device::transmit(int port, EthernetFrame frame) {
     return;
   }
   ++forwarded_;
+  if (slot.wire_latency != 0) {
+    // Fabric wire: fixed latency, one delivery event per frame whether or
+    // not batching is on and whether or not the peer is on another shard
+    // — identical timing on every path is what makes the shard count (and
+    // batch_size) invisible in the results.
+    Device* const peer = slot.peer;
+    const int peer_port = slot.peer_port;
+    auto deliver = [peer, peer_port, f = std::move(frame)]() mutable {
+      peer->ingress(std::move(f), peer_port);
+    };
+    const sim::TimePoint when = engine_->now() + slot.wire_latency;
+    // The delivery key identifies the frame, not the execution mode:
+    // same-instant arrivals at the peer order by (link rank, link seq)
+    // whether they came through a mailbox or the local queue.
+    assert(slot.wire_rank < (std::uint64_t{1} << 23) &&
+           slot.wire_seq < (std::uint64_t{1} << 40));
+    const std::uint64_t key = (slot.wire_rank << 40) | slot.wire_seq++;
+    if (slot.fabric != nullptr) {
+      slot.fabric->post_keyed(slot.self_shard, slot.peer_shard, when, key,
+                              std::move(deliver));
+    } else {
+      engine_->schedule_at_keyed(when, key, std::move(deliver));
+    }
+    return;
+  }
   if (costs_->batch_size > 1) {
     // Frames transmitted while a hop event is already in flight join it
     // (they are in the ring when the receiver's poll fires, at most

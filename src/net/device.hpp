@@ -21,6 +21,10 @@
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
+namespace nestv::sim {
+class ShardedConductor;
+}  // namespace nestv::sim
+
 namespace nestv::net {
 
 class Device {
@@ -43,6 +47,17 @@ class Device {
   /// Convenience: adds a fresh port on both devices and wires them.
   /// Returns {port on a, port on b}.
   static std::pair<int, int> link(Device& a, Device& b);
+
+  /// Wires a fabric link: a physical wire with its own fixed latency that
+  /// never coalesces frames (the NAPI-style burst joining models virtio
+  /// rings, not a cut-through switch wire).  When `conductor` is non-null
+  /// and the two devices live on different shards, frames become mailbox
+  /// posts; the delivery timing is identical either way, which is what
+  /// keeps shards=1 and shards=N bit-equal.  `wire_latency` must be at
+  /// least the conductor's lookahead for a cross-shard link.
+  static void connect_wire(sim::ShardedConductor* conductor, Device& a,
+                           int pa, Device& b, int pb,
+                           sim::Duration wire_latency);
 
   /// Frame arrives on `port` (after hop latency and any peer processing).
   virtual void ingress(EthernetFrame frame, int port) = 0;
@@ -102,6 +117,21 @@ class Device {
     /// up whatever is in the ring when its poll fires, like a NIC RX ring.
     sim::BurstQueue<EthernetFrame> pending;
     bool hop_armed = false;
+    /// Fabric wire (connect_wire): fixed latency overriding hop_latency,
+    /// exempt from burst coalescing.  0 = ordinary intra-host link.
+    sim::Duration wire_latency = 0;
+    /// Cross-shard wire: frames are mailed through the conductor from
+    /// self_shard to peer_shard instead of scheduled locally.
+    sim::ShardedConductor* fabric = nullptr;
+    int self_shard = 0;
+    int peer_shard = 0;
+    /// Delivery-order key base for this direction of the wire: frames
+    /// fire at their arrival instant in ((wire_rank << 40) | wire_seq)
+    /// order, the same key whether delivered locally or via mailbox, so
+    /// same-nanosecond arrivals at a shared device order identically in
+    /// every execution mode.
+    std::uint64_t wire_rank = 0;
+    std::uint64_t wire_seq = 0;
   };
 
   /// Delivers every frame queued on `port` before this event fired.

@@ -7,11 +7,17 @@ namespace nestv::scenario {
 
 Testbed::Testbed(TestbedConfig config)
     : costs_(config.costs), use_vhost_(config.use_vhost) {
-  vmm::PhysicalMachine::Config mc;
+  if (config.engine != nullptr) {
+    engine_ = config.engine;
+  } else {
+    owned_engine_ = std::make_unique<sim::Engine>();
+    engine_ = owned_engine_.get();
+  }
+  vmm::PhysicalMachine::Config mc = config.machine;
   mc.seed = config.seed;
   mc.standing_rules = costs_.nf_standing_rules;
   machine_ =
-      std::make_unique<vmm::PhysicalMachine>(engine_, costs_, mc);
+      std::make_unique<vmm::PhysicalMachine>(*engine_, costs_, mc);
   vmm_ = std::make_unique<vmm::Vmm>(*machine_);
   channel_ = std::make_unique<core::OrchVmmChannel>(*vmm_);
   nat_cni_ = std::make_unique<core::BridgeNatCni>(machine_->rng().fork());
@@ -78,12 +84,12 @@ Endpoint Testbed::host_client(const std::string& process_name) {
 
 void Testbed::run_until_ready(const std::function<bool()>& pred,
                               sim::Duration step, sim::Duration limit) {
-  const sim::TimePoint deadline = engine_.now() + limit;
+  const sim::TimePoint deadline = engine_->now() + limit;
   while (!pred()) {
-    if (engine_.now() >= deadline) {
+    if (engine_->now() >= deadline) {
       throw std::runtime_error("testbed: deployment did not become ready");
     }
-    engine_.run_until(engine_.now() + step);
+    engine_->run_until(engine_->now() + step);
   }
 }
 

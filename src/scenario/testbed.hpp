@@ -19,6 +19,14 @@ struct TestbedConfig {
   std::uint64_t seed = 42;
   sim::CostModel costs = sim::CostModel{};
   bool use_vhost = true;  ///< false only in the abl_vhost ablation
+  /// Run on an existing engine instead of owning one — how a multi-machine
+  /// scenario places each testbed on its conductor shard.  The caller
+  /// keeps the engine alive for the testbed's lifetime.
+  sim::Engine* engine = nullptr;
+  /// Machine identity (name, bridge subnet, cores).  `seed` and the
+  /// standing-rule count are still taken from this config's `seed`/`costs`
+  /// fields, exactly as before this knob existed.
+  vmm::PhysicalMachine::Config machine = {};
 };
 
 /// A process endpoint a workload can drive: which stack it lives in, the
@@ -41,7 +49,7 @@ class Testbed {
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
-  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] const sim::CostModel& costs() const { return costs_; }
   [[nodiscard]] vmm::PhysicalMachine& machine() { return *machine_; }
   [[nodiscard]] vmm::Vmm& vmm() { return *vmm_; }
@@ -62,8 +70,9 @@ class Testbed {
   /// different CPUs of the physical host", linked to the host bridge).
   Endpoint host_client(const std::string& process_name);
 
-  /// Advances the simulated clock by `d`.
-  void run_for(sim::Duration d) { engine_.run_until(engine_.now() + d); }
+  /// Advances the simulated clock by `d`.  Only valid on a testbed that
+  /// owns its engine — under a conductor, only the conductor moves time.
+  void run_for(sim::Duration d) { engine_->run_until(engine_->now() + d); }
 
   /// Runs until `pred()` holds, polling every `step`; asserts progress
   /// within `limit`.  Used to wait for async deployments.
@@ -73,7 +82,8 @@ class Testbed {
 
  private:
   sim::CostModel costs_;
-  sim::Engine engine_;
+  std::unique_ptr<sim::Engine> owned_engine_;  ///< null when external
+  sim::Engine* engine_ = nullptr;
   std::unique_ptr<vmm::PhysicalMachine> machine_;
   std::unique_ptr<vmm::Vmm> vmm_;
   std::unique_ptr<core::OrchVmmChannel> channel_;

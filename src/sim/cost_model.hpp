@@ -45,6 +45,13 @@ struct CostModel {
   double loopback_copy_byte = 0.02;
   /// Device-to-device hand-off latency (queue + softirq scheduling).
   Duration hop_latency = 300;
+  /// Wire latency of the inter-machine fabric (host NIC -> top-of-rack
+  /// switch): serialization + propagation + switch cut-through, an order
+  /// of magnitude above the intra-host hand-off.  This is also the
+  /// lookahead window of the sharded conductor — an event on one machine
+  /// cannot affect another machine sooner than one fabric hop — so it
+  /// must lower-bound every cross-machine link latency.
+  Duration fabric_hop_latency = 2000;
 
   // ---- netfilter / NAT --------------------------------------------------
   Duration nf_hook_base = 120;     ///< traversing one hook point

@@ -36,6 +36,17 @@ class Engine {
     return queue_.schedule(when < now_ ? now_ : when, std::move(action));
   }
 
+  /// Schedules at an absolute instant with an explicit same-instant
+  /// ordering key (EventQueue::schedule_keyed).  Fabric wire links use
+  /// this so a frame's delivery order at a shared device is a function of
+  /// the frame — (link rank, link sequence) — and not of whether a single
+  /// engine or a conductor mailbox carried it (DESIGN.md section 10).
+  EventId schedule_at_keyed(TimePoint when, std::uint64_t key,
+                            InlineTask&& action) {
+    return queue_.schedule_keyed(when < now_ ? now_ : when, key,
+                                 std::move(action));
+  }
+
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Runs `action` synchronously when the current event's callback returns,
@@ -60,6 +71,9 @@ class Engine {
   std::uint64_t run_until(TimePoint deadline);
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+  /// Time of the earliest pending event; only valid when !idle().  The
+  /// sharded conductor publishes this as the shard's horizon.
+  [[nodiscard]] TimePoint next_event_time() { return queue_.next_time(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 

@@ -30,29 +30,34 @@ namespace nestv::sim {
 /// a scheduled event, so 0 doubles as "no timer" in client code.
 using EventId = std::uint64_t;
 
-/// Min-heap of (time, sequence) ordered events.  Two events scheduled for
-/// the same instant fire in scheduling order, which keeps every simulation
-/// run bit-for-bit reproducible (DESIGN.md section 6).
+/// Min-heap of (time, order) events.  Two events scheduled for the same
+/// instant fire in scheduling order, which keeps every simulation run
+/// bit-for-bit reproducible (DESIGN.md section 6).  schedule_keyed()
+/// instead takes an explicit same-instant key: those events fire before
+/// every plainly-scheduled event at their instant, ordered by key — the
+/// sharded conductor uses it to make cross-machine frame ordering a
+/// function of the frame, not of which execution mode delivered it.
 class EventQueue {
  public:
+  /// Keys passed to schedule_keyed() must stay below this bound (plain
+  /// events occupy the band at and above it).
+  static constexpr std::uint64_t kKeyLimit = std::uint64_t{1} << 63;
+
   /// Takes the task by rvalue reference: the closure is moved exactly once,
   /// from the caller's temporary into the slot (callers hand over lambdas
   /// or `std::move` a named task; nothing is relocated per call layer).
   EventId schedule(TimePoint when, InlineTask&& action) {
-    std::uint32_t slot;
-    if (free_.empty()) {
-      slot = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-    } else {
-      slot = free_.back();
-      free_.pop_back();
-    }
-    Slot& s = slots_[slot];
-    s.task = std::move(action);
-    s.live = true;
-    heap_push(HeapEntry{when, next_seq_++, slot, s.gen});
-    ++live_;
-    return make_id(s.gen, slot);
+    return schedule_ordered(when, kKeyLimit | next_seq_++,
+                            std::move(action));
+  }
+
+  /// Schedules with an explicit same-instant order.  At any instant, all
+  /// keyed events fire (by ascending key) before any plain event; keys
+  /// must be unique per instant for the order to be total.
+  EventId schedule_keyed(TimePoint when, std::uint64_t key,
+                         InlineTask&& action) {
+    assert(key < kKeyLimit && "ordering key collides with the plain band");
+    return schedule_ordered(when, key, std::move(action));
   }
 
   /// Cancels a scheduled event: its slot is released immediately and the
@@ -89,10 +94,28 @@ class EventQueue {
  private:
   struct HeapEntry {
     TimePoint when = 0;
-    std::uint64_t seq = 0;  ///< monotonic scheduling order (tie-break)
+    std::uint64_t order = 0;  ///< same-instant tie-break (key or seq band)
     std::uint32_t slot = 0;
     std::uint32_t gen = 0;
   };
+
+  EventId schedule_ordered(TimePoint when, std::uint64_t order,
+                           InlineTask&& action) {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    Slot& s = slots_[slot];
+    s.task = std::move(action);
+    s.live = true;
+    heap_push(HeapEntry{when, order, slot, s.gen});
+    ++live_;
+    return make_id(s.gen, slot);
+  }
 
   struct Slot {
     InlineTask task;
@@ -103,7 +126,7 @@ class EventQueue {
   // Returns true when a sorts strictly before b (min-heap order).
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when < b.when;
-    return a.seq < b.seq;
+    return a.order < b.order;
   }
 
   static EventId make_id(std::uint32_t gen, std::uint32_t slot) {

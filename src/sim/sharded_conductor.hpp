@@ -1,0 +1,183 @@
+// Conservative parallel simulation: one Engine per shard, epoch-synced.
+//
+// The simulated datacenter partitions naturally by physical machine: every
+// device, stack and CPU of a machine schedules only on its own engine, and
+// the sole interaction between machines is an Ethernet frame crossing the
+// top-of-rack fabric, which takes a fixed wire latency L (CostModel::
+// fabric_hop_latency).  That latency is lookahead in the classic
+// conservative-PDES sense: an event executing at time t on one shard can
+// affect another shard no earlier than t + L.  The conductor exploits it
+// with a BSP-style loop:
+//
+//   1. drain    every shard moves the frames mailed to it during the last
+//               window into its event queue, then publishes the time of
+//               its next event;
+//   2. window   all workers compute the same global minimum next-event
+//               time `gmin` and run their shards up to
+//               min(deadline, gmin + L - 1);
+//   3. repeat   until no shard holds an event at or before the deadline.
+//
+// The `- 1` makes every cross-shard message arrive strictly after the
+// window in which it was posted, so a drain never injects an event into a
+// shard's past.  Jumping to `gmin` (instead of stepping fixed windows)
+// means idle stretches cost one epoch regardless of length.
+//
+// Determinism: results are bit-identical to a single-engine run of the
+// same world and independent of the worker-thread count.
+//   * Each mailbox (src, dst) is appended by exactly one shard while it
+//     runs and drained by exactly one shard between windows; the barriers
+//     between phases make that race-free without locks.
+//   * Wire deliveries carry an explicit ordering key — (link rank, link
+//     sequence), assigned identically whether the frame is scheduled
+//     locally or mailed — so same-nanosecond arrivals at a shared device
+//     fire in the same order in every mode.  At the scale of the macro
+//     scenario exact-nanosecond collisions are a certainty (birthday
+//     bound over ~1e5 frames in 1e8 ns), so the key, not jitter, is what
+//     carries the equivalence.  Unkeyed mail falls back to
+//     (when, src_shard, post order), which is still thread-independent.
+//   * shards == 1 bypasses the machinery entirely and is the existing
+//     engine, the same way batch_size == 1 is the pre-burst datapath.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/inline_task.hpp"
+#include "sim/time.hpp"
+
+namespace nestv::sim {
+
+/// Spin barrier for the epoch loop.  Generation-counted: the last arriver
+/// resets the count and bumps the generation; everyone else spins (with a
+/// yield once the wait stops being short, so oversubscribed runs — CI
+/// machines, laptops — make progress) until the generation moves.  The
+/// acq_rel increment chain plus the release/acquire generation hand-off
+/// gives every pre-barrier write a happens-before edge to every
+/// post-barrier read, which is what lets the mailboxes be plain vectors.
+class EpochBarrier {
+ public:
+  explicit EpochBarrier(unsigned parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    if (parties_ == 1) return;
+    const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.store(gen + 1, std::memory_order_release);
+      return;
+    }
+    unsigned spins = 0;
+    while (gen_.load(std::memory_order_acquire) == gen) {
+      if (++spins > 256) std::this_thread::yield();
+    }
+  }
+
+ private:
+  unsigned parties_;
+  std::atomic<unsigned> count_{0};
+  std::atomic<std::uint64_t> gen_{0};
+};
+
+class ShardedConductor {
+ public:
+  /// `lookahead` is the minimum latency of any cross-shard link (the
+  /// fabric wire); `max_workers` caps the worker threads (0 = hardware
+  /// concurrency).  Workers each own a contiguous shard range, so fewer
+  /// workers than shards degrades to batched sequential execution with
+  /// unchanged results.
+  ShardedConductor(int shards, Duration lookahead, unsigned max_workers = 0);
+
+  ShardedConductor(const ShardedConductor&) = delete;
+  ShardedConductor& operator=(const ShardedConductor&) = delete;
+
+  [[nodiscard]] int shards() const {
+    return static_cast<int>(engines_.size());
+  }
+  [[nodiscard]] Engine& shard(int s) { return *engines_[std::size_t(s)]; }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Shard index owning `engine`, or -1 if it is not one of ours.
+  [[nodiscard]] int shard_of(const Engine& engine) const;
+
+  /// Mails `task` from shard `src` to fire at `when` on shard `dst`.
+  /// Callable only from src's worker while src is inside a window (or from
+  /// the setup thread before any run).  The lookahead contract requires
+  /// `when` to lie strictly beyond src's current window.
+  void post(int src, int dst, TimePoint when, InlineTask&& task);
+
+  /// Like post(), but the task carries an explicit same-instant ordering
+  /// key (EventQueue::schedule_keyed).  Wire links pass the same key they
+  /// would use for local delivery, which makes the firing order at `when`
+  /// identical to the single-engine run even when several shards mail the
+  /// same destination for the same nanosecond.
+  void post_keyed(int src, int dst, TimePoint when, std::uint64_t key,
+                  InlineTask&& task);
+
+  /// Allocates a stable rank for one direction of a wire link.  Ranks are
+  /// per-conductor and handed out in setup order, so two runs that build
+  /// the same world get the same ranks — part of the delivery key that
+  /// keeps shard counts invisible.
+  [[nodiscard]] std::uint64_t alloc_wire_rank() { return wire_ranks_++; }
+
+  /// Runs every shard up to and including `deadline`, like
+  /// Engine::run_until: all shard clocks end at exactly `deadline`.
+  void run_until(TimePoint deadline);
+
+  /// Clock of shard 0 (all shards agree between run_until calls).
+  [[nodiscard]] TimePoint now() const { return engines_[0]->now(); }
+
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::vector<std::uint64_t> per_shard_events() const;
+  /// Synchronization windows executed across all run_until calls.
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  /// Frames mailed across shard boundaries.
+  [[nodiscard]] std::uint64_t cross_posts() const;
+  /// Worker threads a multi-shard run uses (1 when shards == 1).
+  [[nodiscard]] unsigned worker_threads() const { return workers_; }
+
+ private:
+  struct Mail {
+    TimePoint when = 0;
+    std::uint64_t key = kUnkeyed;  ///< kUnkeyed = plain scheduling order
+    InlineTask task;
+  };
+
+  static constexpr TimePoint kNever =
+      std::numeric_limits<TimePoint>::max();
+  static constexpr std::uint64_t kUnkeyed =
+      std::numeric_limits<std::uint64_t>::max();
+
+  [[nodiscard]] std::size_t box_index(int src, int dst) const {
+    return std::size_t(src) * engines_.size() + std::size_t(dst);
+  }
+  [[nodiscard]] int shard_begin(unsigned worker) const {
+    return static_cast<int>(std::size_t(worker) * engines_.size() /
+                            workers_);
+  }
+
+  void worker_loop(unsigned worker, TimePoint deadline);
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  Duration lookahead_;
+  unsigned workers_;
+  EpochBarrier barrier_;
+  /// box_[src * S + dst]: appended by src's worker inside a window,
+  /// drained by dst's worker between windows.
+  std::vector<std::vector<Mail>> box_;
+  /// End of the window each shard is currently running (post() contract).
+  std::vector<TimePoint> window_end_;
+  /// Next-event time published by each shard at the drain barrier.
+  std::vector<std::atomic<TimePoint>> next_;
+  /// Per-source-shard mail counters (single-writer, summed on demand).
+  std::vector<std::uint64_t> posted_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t wire_ranks_ = 0;
+};
+
+}  // namespace nestv::sim

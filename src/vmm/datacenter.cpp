@@ -1,30 +1,48 @@
 #include "vmm/datacenter.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace nestv::vmm {
 
 PhysicalSwitch::PhysicalSwitch(sim::Engine& engine,
                                const sim::CostModel& costs,
-                               net::Ipv4Cidr fabric_subnet)
-    : engine_(&engine), costs_(&costs), subnet_(fabric_subnet) {
+                               net::Ipv4Cidr fabric_subnet,
+                               sim::ShardedConductor* conductor)
+    : engine_(&engine),
+      costs_(&costs),
+      conductor_(conductor),
+      subnet_(fabric_subnet) {
   fabric_ = std::make_unique<net::Bridge>(engine, "fabric/tor0", costs,
                                           /*guest_level=*/false);
 }
 
 void PhysicalSwitch::attach(PhysicalMachine& machine) {
   for (const Member& m : members_) {
-    assert(m.machine->config().bridge_subnet.network() !=
-               machine.config().bridge_subnet.network() &&
-           "machines on one fabric need distinct VM subnets");
+    if (m.machine->config().bridge_subnet.network() ==
+        machine.config().bridge_subnet.network()) {
+      throw std::invalid_argument(
+          "PhysicalSwitch::attach: machine '" + machine.config().name +
+          "' reuses the VM subnet of '" + m.machine->config().name +
+          "'; machines on one fabric need distinct VM subnets");
+    }
+  }
+  if (conductor_ == nullptr && &machine.engine() != engine_) {
+    throw std::invalid_argument(
+        "PhysicalSwitch::attach: machine '" + machine.config().name +
+        "' lives on a different engine; wiring across engines needs a "
+        "ShardedConductor");
   }
 
   Member member;
   member.machine = &machine;
   member.ext_ip = subnet_.host(next_ip_++);
+  // The NIC-side half of the uplink runs on the machine's own engine (=
+  // shard); only the wire to the ToR may cross shards.
   member.port = std::make_unique<net::PortBackend>(
-      *engine_, machine.config().name + "/ext0-port", *costs_);
-  net::Device::connect(*member.port, 0, *fabric_, fabric_->add_port());
+      machine.engine(), machine.config().name + "/ext0-port", *costs_);
+  net::Device::connect_wire(conductor_, *member.port, 0, *fabric_,
+                            fabric_->add_port(),
+                            costs_->fabric_hop_latency);
 
   net::InterfaceConfig cfg;
   cfg.name = "ext0";

@@ -16,20 +16,30 @@
 #include <vector>
 
 #include "net/bridge.hpp"
+#include "sim/sharded_conductor.hpp"
 #include "vmm/machine.hpp"
 
 namespace nestv::vmm {
 
 class PhysicalSwitch {
  public:
+  /// `engine` hosts the switch itself (under a conductor: the shard whose
+  /// engine this is — conventionally shard 0 — runs the ToR forwarding).
+  /// With a `conductor`, attached machines may live on any of its shards;
+  /// their uplinks become cross-shard fabric wires.  Without one, every
+  /// machine must share `engine`.
   PhysicalSwitch(sim::Engine& engine, const sim::CostModel& costs,
                  net::Ipv4Cidr fabric_subnet = net::Ipv4Cidr(
-                     net::Ipv4Address(10, 10, 0, 0), 24));
+                     net::Ipv4Address(10, 10, 0, 0), 24),
+                 sim::ShardedConductor* conductor = nullptr);
 
   /// Connects `machine` to the fabric: creates its external interface
   /// ("ext0", addressed from the fabric subnet) and installs routes so
   /// every previously-attached machine can reach this machine's VM subnet
-  /// and vice versa.  Machines must use distinct bridge subnets.
+  /// and vice versa.  Machines must use distinct bridge subnets; a
+  /// duplicate throws std::invalid_argument (two racks announcing the
+  /// same prefix is a config error, not a programming invariant, so it
+  /// must hold in Release builds too).
   void attach(PhysicalMachine& machine);
 
   [[nodiscard]] std::size_t machine_count() const {
@@ -46,6 +56,7 @@ class PhysicalSwitch {
 
   sim::Engine* engine_;
   const sim::CostModel* costs_;
+  sim::ShardedConductor* conductor_;
   net::Ipv4Cidr subnet_;
   std::unique_ptr<net::Bridge> fabric_;
   std::vector<Member> members_;

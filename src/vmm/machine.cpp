@@ -1,13 +1,17 @@
 #include "vmm/machine.hpp"
 
+#include <atomic>
+
 namespace nestv::vmm {
 
 namespace {
-// Deterministic per-process machine numbering (the simulation is
-// single-threaded; construction order is program order).
+// Per-process machine numbering.  Atomic because parallel bench sweeps
+// (and conductor workers tearing worlds down) construct machines from
+// several threads; the ordinal only namespaces MAC addresses, so which
+// machine draws which number does not affect any simulated metric.
 std::uint32_t next_machine_ordinal() {
-  static std::uint32_t counter = 0;
-  return counter++;
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
 }
 }  // namespace
 

@@ -166,5 +166,131 @@ TEST_F(DatacenterFixture, DistinctLedgersPerHost) {
   EXPECT_EQ(host_b->host_account().get(sim::CpuCategory::kGuest), 200u);
 }
 
+TEST_F(DatacenterFixture, DuplicateVmSubnetIsARuntimeError) {
+  // A config error, not a debug-build invariant: it must throw in Release
+  // builds too (an assert would vanish under NDEBUG).
+  vmm::PhysicalMachine::Config cc;
+  cc.name = "host-c";
+  cc.seed = 3;
+  cc.bridge_subnet = host_a->config().bridge_subnet;  // clash with host-a
+  vmm::PhysicalMachine host_c(engine, costs, cc);
+  EXPECT_THROW(tor.attach(host_c), std::invalid_argument);
+  EXPECT_EQ(tor.machine_count(), 2u);  // the fabric is unchanged
+}
+
+TEST_F(DatacenterFixture, ForeignEngineWithoutConductorIsARuntimeError) {
+  sim::Engine other;
+  vmm::PhysicalMachine::Config cc;
+  cc.name = "host-c";
+  cc.seed = 3;
+  cc.bridge_subnet = net::Ipv4Cidr(net::Ipv4Address(192, 168, 3, 0), 24);
+  vmm::PhysicalMachine host_c(other, costs, cc);
+  EXPECT_THROW(tor.attach(host_c), std::invalid_argument);
+}
+
+// ---- full-mesh topology beyond two machines ----------------------------
+
+struct FullMeshFixture : ::testing::Test {
+  static constexpr int kMachines = 4;
+  sim::Engine engine;
+  sim::CostModel costs{};
+  vmm::PhysicalSwitch tor{engine, costs};
+  std::vector<std::unique_ptr<vmm::PhysicalMachine>> hosts;
+  std::vector<std::unique_ptr<vmm::Vmm>> vmms;
+
+  void SetUp() override {
+    for (int i = 0; i < kMachines; ++i) {
+      vmm::PhysicalMachine::Config c;
+      c.name = "host-" + std::to_string(i);
+      c.seed = std::uint64_t(i + 1);
+      c.bridge_subnet = net::Ipv4Cidr(
+          net::Ipv4Address(192, 168, std::uint8_t(10 + i), 0), 24);
+      hosts.push_back(
+          std::make_unique<vmm::PhysicalMachine>(engine, costs, c));
+      vmms.push_back(std::make_unique<vmm::Vmm>(*hosts.back()));
+      tor.attach(*hosts.back());
+    }
+  }
+
+  vmm::Vm& vm_on(int i, const std::string& name) {
+    vmm::PhysicalMachine& machine = *hosts[std::size_t(i)];
+    vmm::Vm& vm = vmms[std::size_t(i)]->create_vm({.name = name});
+    net::TapDevice& tap = machine.make_tap("tap-" + name);
+    vmm::VirtioNic& nic = vm.create_nic("eth0");
+    nic.attach_host_tap(tap);
+    net::InterfaceConfig cfg;
+    cfg.name = "eth0";
+    cfg.mac = machine.allocate_mac();
+    cfg.ip = machine.allocate_bridge_ip();
+    cfg.subnet = machine.config().bridge_subnet;
+    cfg.gso_bytes = costs.gso_virtio;
+    const int ifindex = vm.stack().add_interface(nic, cfg);
+    vm.stack().routes().add_default(machine.bridge_ip(), ifindex);
+    return vm;
+  }
+};
+
+TEST_F(FullMeshFixture, ExtIpsAllocatedSequentiallyAndDistinct) {
+  std::vector<net::Ipv4Address> ips;
+  for (auto& host : hosts) {
+    ips.push_back(host->stack().iface_ip(host->stack().ifindex_of("ext0")));
+  }
+  for (int i = 0; i < kMachines; ++i) {
+    EXPECT_EQ(ips[std::size_t(i)],
+              net::Ipv4Address(10, 10, 0, std::uint8_t(i + 1)));
+  }
+}
+
+TEST_F(FullMeshFixture, RoutesInstalledBothDirectionsForEveryPair) {
+  // Every ordered machine pair exchanges a VM-to-VM datagram — which only
+  // works if attach() installed the VM-subnet route in both directions at
+  // every attach, including between machines attached before and after
+  // each other.
+  std::vector<vmm::Vm*> vms;
+  for (int i = 0; i < kMachines; ++i) {
+    vms.push_back(&vm_on(i, "v" + std::to_string(i)));
+  }
+  int expected = 0, got = 0;
+  for (int i = 0; i < kMachines; ++i) {
+    vms[std::size_t(i)]->stack().udp_bind(
+        9000, nullptr,
+        [&got](const net::NetworkStack::UdpDelivery&) { ++got; });
+  }
+  for (int i = 0; i < kMachines; ++i) {
+    for (int j = 0; j < kMachines; ++j) {
+      if (i == j) continue;
+      const auto src = vms[std::size_t(i)]->stack().iface_ip(
+          vms[std::size_t(i)]->stack().ifindex_of("eth0"));
+      const auto dst = vms[std::size_t(j)]->stack().iface_ip(
+          vms[std::size_t(j)]->stack().ifindex_of("eth0"));
+      vms[std::size_t(i)]->stack().udp_send(
+          src, std::uint16_t(10000 + i), dst, 9000, 128, nullptr);
+      ++expected;
+    }
+  }
+  engine.run_until(sim::milliseconds(100));
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(FullMeshFixture, CrossMachineTcpStreamTwoHopsAway) {
+  // A bulk TCP transfer between machines 0 and 2 — attached neither first
+  // nor adjacent — crossing both host kernels and the ToR.
+  vmm::Vm& va = vm_on(0, "va");
+  vmm::Vm& vc = vm_on(2, "vc");
+  const auto ip_a = va.stack().iface_ip(va.stack().ifindex_of("eth0"));
+  const auto ip_c = vc.stack().iface_ip(vc.stack().ifindex_of("eth0"));
+
+  std::uint64_t received = 0;
+  vc.stack().tcp_listen(80, nullptr, [&](net::TcpSocket sock) {
+    sock.set_on_receive([&](std::uint32_t n) { received += n; });
+  });
+  net::TcpSocket client = va.stack().tcp_connect(ip_a, ip_c, 80, nullptr);
+  client.set_on_connected([&client] { client.send(200000); });
+  engine.run_until(sim::seconds(3));
+  EXPECT_EQ(received, 200000u);
+  EXPECT_GE(hosts[0]->stack().packets_forwarded(), 1u);
+  EXPECT_GE(hosts[2]->stack().packets_forwarded(), 1u);
+}
+
 }  // namespace
 }  // namespace nestv

@@ -1,0 +1,190 @@
+// Sharded-conductor contract tests.
+//
+// The contract (DESIGN.md section 10): a sharded run is bit-identical to
+// the single-engine run of the same world, and independent of the worker
+// thread count.  These tests exercise the conductor mechanics directly
+// (windows, mailbox ordering, lookahead jumping), a two-machine fabric
+// world against its single-engine twin, and the full datacenter macro
+// scenario across shard and worker counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/datacenter_macro.hpp"
+#include "sim/sharded_conductor.hpp"
+
+namespace nestv {
+namespace {
+
+::testing::AssertionResult BitsEqual(const char* a_expr, const char* b_expr,
+                                     double a, double b) {
+  std::uint64_t ab = 0, bb = 0;
+  static_assert(sizeof(a) == sizeof(ab));
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  if (ab == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a_expr << " and " << b_expr << " differ: " << a << " vs " << b;
+}
+
+#define EXPECT_BITS_EQ(a, b) EXPECT_PRED_FORMAT2(BitsEqual, a, b)
+
+// ---- conductor mechanics -----------------------------------------------
+
+TEST(ShardedConductor, SingleShardIsThePlainEngine) {
+  sim::ShardedConductor c(1, 2000);
+  EXPECT_EQ(c.shards(), 1);
+  EXPECT_EQ(c.worker_threads(), 1u);
+  std::vector<int> order;
+  c.shard(0).schedule_in(10, [&] { order.push_back(1); });
+  c.shard(0).schedule_in(5, [&] { order.push_back(0); });
+  c.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.shard(0).now(), 100u);
+  EXPECT_EQ(c.total_events(), 2u);
+}
+
+TEST(ShardedConductor, CrossShardPostFiresAtItsInstant) {
+  sim::ShardedConductor c(2, 1000, 2);
+  std::vector<std::uint64_t> fired;
+  c.shard(0).schedule_at(500, [&c, &fired] {
+    // Event at t=500 on shard 0 mails shard 1 one lookahead ahead.
+    c.post(0, 1, 500 + 1000, [&c, &fired] {
+      fired.push_back(c.shard(1).now());
+    });
+  });
+  c.run_until(10000);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1500u);
+  EXPECT_EQ(c.shard(0).now(), 10000u);
+  EXPECT_EQ(c.shard(1).now(), 10000u);
+  EXPECT_EQ(c.cross_posts(), 1u);
+}
+
+TEST(ShardedConductor, MailDrainsInWhenThenSourceThenPostOrder) {
+  // Three shards mail shard 2 from the same window; deliveries must sort
+  // by (when, src_shard, post order) regardless of posting interleave.
+  sim::ShardedConductor c(3, 100, 1);  // one worker: fixed drain schedule
+  std::vector<int> order;
+  c.shard(0).schedule_at(10, [&] {
+    c.post(0, 2, 300, [&order] { order.push_back(10); });
+    c.post(0, 2, 200, [&order] { order.push_back(0); });
+    c.post(0, 2, 200, [&order] { order.push_back(1); });
+  });
+  c.shard(1).schedule_at(10, [&] {
+    c.post(1, 2, 200, [&order] { order.push_back(2); });
+  });
+  c.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 10}));
+}
+
+TEST(ShardedConductor, IdleStretchesSkipInOneWindow) {
+  // Two events a second apart with L=1000ns must not cost a million
+  // epochs: the window jumps to the global minimum next event.
+  sim::ShardedConductor c(2, 1000, 1);
+  int fired = 0;
+  c.shard(0).schedule_at(sim::seconds(1), [&] { ++fired; });
+  c.shard(1).schedule_at(sim::seconds(2), [&] { ++fired; });
+  c.run_until(sim::seconds(3));
+  EXPECT_EQ(fired, 2);
+  EXPECT_LT(c.epochs(), 10u);
+}
+
+TEST(ShardedConductor, WorkerCountDoesNotChangeDelivery) {
+  auto run = [](unsigned workers) {
+    sim::ShardedConductor c(4, 500, workers);
+    // One slot per destination shard: each is written only by its owning
+    // worker, so the records are race-free and comparable across runs.
+    std::vector<std::uint64_t> log(4, 0);
+    for (int s = 0; s < 4; ++s) {
+      c.shard(s).schedule_at(std::uint64_t(100 + s), [&c, s, &log] {
+        const int dst = (s + 1) % 4;
+        c.post(s, dst, c.shard(s).now() + 500 + std::uint64_t(s),
+               [&c, dst, s, &log] {
+                 log[std::size_t(dst)] =
+                     c.shard(dst).now() * 10 + std::uint64_t(s);
+               });
+      });
+    }
+    c.run_until(5000);
+    return log;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(4));
+}
+
+// ---- two-machine fabric: sharded vs single-engine twin -----------------
+
+struct MacroDigest {
+  double transactions, latency, bytes, digest;
+  std::uint64_t events;
+};
+
+MacroDigest run_macro(int shards, unsigned workers, int machines = 4,
+                      int flows = 6) {
+  scenario::DatacenterMacroConfig cfg;
+  cfg.seed = 11;
+  cfg.machines = machines;
+  cfg.shards = shards;
+  cfg.max_workers = workers;
+  cfg.trace_users = 6;
+  cfg.flows = flows;
+  cfg.measure_window = sim::milliseconds(40);
+  const auto r = scenario::run_datacenter_macro(cfg);
+  return {r.rr_transactions, r.rr_latency_ns_sum, r.stream_bytes_delivered,
+          r.flow_digest, r.events_total};
+}
+
+void expect_identical(const MacroDigest& a, const MacroDigest& b) {
+  EXPECT_BITS_EQ(a.transactions, b.transactions);
+  EXPECT_BITS_EQ(a.latency, b.latency);
+  EXPECT_BITS_EQ(a.bytes, b.bytes);
+  EXPECT_BITS_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(ShardedMacro, ProducesTraffic) {
+  const auto r = run_macro(1, 1);
+  EXPECT_GT(r.transactions, 0.0);
+  EXPECT_GT(r.bytes, 0.0);
+  EXPECT_GT(r.events, 0u);
+}
+
+TEST(ShardedMacro, ShardCountIsInvisibleInResults) {
+  const auto base = run_macro(1, 1);
+  expect_identical(base, run_macro(2, 2));
+  expect_identical(base, run_macro(4, 4));
+}
+
+TEST(ShardedMacro, WorkerCountIsInvisibleInResults) {
+  const auto w1 = run_macro(4, 1);
+  expect_identical(w1, run_macro(4, 2));
+  expect_identical(w1, run_macro(4, 4));
+}
+
+TEST(ShardedMacro, ReportsExecutionShape) {
+  scenario::DatacenterMacroConfig cfg;
+  cfg.seed = 11;
+  cfg.machines = 4;
+  cfg.shards = 4;
+  cfg.max_workers = 2;
+  cfg.trace_users = 4;
+  cfg.flows = 4;
+  cfg.measure_window = sim::milliseconds(20);
+  const auto r = scenario::run_datacenter_macro(cfg);
+  EXPECT_EQ(r.shards, 4);
+  ASSERT_EQ(r.per_shard_events.size(), 4u);
+  std::uint64_t sum = 0;
+  for (auto e : r.per_shard_events) sum += e;
+  EXPECT_EQ(sum, r.events_total);
+  EXPECT_GT(r.epochs, 0u);
+  EXPECT_GT(r.cross_posts, 0u);
+  EXPECT_LE(r.worker_threads, 2u);
+}
+
+}  // namespace
+}  // namespace nestv

@@ -19,8 +19,9 @@ Modes:
       Fail if the deterministic metrics of the two directories differ at
       all — used to prove ``--jobs N`` sweep output equals sequential.
   summarize <bench_dir> -o BENCH_summary.json
-      Consolidate every BENCH_*.json (all metrics, wall-clock included)
-      into one artifact for CI upload and cross-run comparison.
+      Consolidate every BENCH_*.json (all metrics, wall-clock included,
+      plus the execution shape: shards, worker threads, per-shard event
+      counts) into one artifact for CI upload and cross-run comparison.
 """
 
 import argparse
@@ -58,6 +59,29 @@ def load_dir(bench_dir: str, deterministic_only: bool = True) -> dict:
             m["name"]: m["value"]
             for m in doc["metrics"]
             if not deterministic_only or is_deterministic(m["name"])
+        }
+    return out
+
+
+def load_execution(bench_dir: str) -> dict:
+    """Returns {bench_name: {shards, worker_threads, per_shard_events}}.
+
+    Execution shape is reporting only (it varies with the host and the
+    --shards flag) and is therefore folded into the summary artifact but
+    never compared by check/diff.  Older BENCH files without the fields
+    default to the single-engine shape.
+    """
+    out = {}
+    paths = sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json")))
+    paths = [p for p in paths
+             if os.path.basename(p) != "BENCH_summary.json"]
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        out[doc["bench"]] = {
+            "shards": doc.get("shards", 1),
+            "worker_threads": doc.get("worker_threads", 1),
+            "per_shard_events": doc.get("per_shard_events", []),
         }
     return out
 
@@ -151,8 +175,10 @@ def main() -> int:
 
     if args.mode == "summarize":
         benches = load_dir(args.bench_dir, deterministic_only=False)
+        execution = load_execution(args.bench_dir)
         summary = {
             "benches": benches,
+            "execution": execution,
             "bench_count": len(benches),
             "metric_count": sum(len(m) for m in benches.values()),
         }
