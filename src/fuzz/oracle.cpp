@@ -1,0 +1,139 @@
+#include "fuzz/oracle.hpp"
+
+#include <sstream>
+
+#include "fuzz/world.hpp"
+
+namespace nestv::fuzz {
+namespace {
+
+/// Collects a run's invariant violations as "invariant" failures.
+void absorb_invariants(const WorldResult& r, const std::string& label,
+                       CaseResult& out) {
+  for (const std::string& msg : r.invariant_failures) {
+    out.failures.push_back({"invariant", "[" + label + "] " + msg});
+  }
+}
+
+/// Strict comparison; both runs must have completed.
+void check_strict(const WorldResult& a, const std::string& la,
+                  const WorldResult& b, const std::string& lb,
+                  const std::string& oracle, CaseResult& out) {
+  if (!a.completed || !b.completed) return;  // invariants already reported
+  const std::string diff = a.strict.first_difference(b.strict);
+  if (!diff.empty()) {
+    out.failures.push_back(
+        {oracle, la + " vs " + lb + " strict divergence at " + diff});
+  }
+}
+
+void check_semantic(const WorldResult& a, const std::string& la,
+                    const WorldResult& b, const std::string& lb,
+                    const std::string& oracle, CaseResult& out) {
+  if (!a.completed || !b.completed) return;
+  const std::string diff = a.semantic.first_difference(b.semantic);
+  if (!diff.empty()) {
+    out.failures.push_back(
+        {oracle, la + " vs " + lb + " semantic divergence at " + diff});
+  }
+}
+
+}  // namespace
+
+bool CaseResult::failed(const std::string& oracle) const {
+  for (const Failure& f : failures) {
+    if (f.oracle == oracle) return true;
+  }
+  return false;
+}
+
+std::string CaseResult::report() const {
+  std::ostringstream os;
+  for (const Failure& f : failures) {
+    os << "  [" << f.oracle << "] " << f.detail << "\n";
+  }
+  return os.str();
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  CaseResult out;
+  const FuzzPlan plan = generate_plan(spec.seed);
+  auto run = [&](const RunShape& shape) {
+    return run_world(plan, shape, spec.flow_mask, spec.action_mask);
+  };
+
+  // The reference run every oracle compares against: sequential engine,
+  // unbatched datapath, no flowcache, default burst knobs.
+  RunShape base;
+  base.label = "A";
+  const WorldResult a = run(base);
+  absorb_invariants(a, "A", out);
+
+  if (spec.oracle_mask & kOracleShards) {
+    RunShape b;
+    b.shards = plan.alt_shards;
+    b.workers = plan.alt_workers;
+    b.label = "B";
+    const WorldResult r = run(b);
+    absorb_invariants(r, "B(shards=" + std::to_string(b.shards) + ")", out);
+    check_strict(a, "A(shards=1)",
+                 r, "B(shards=" + std::to_string(b.shards) + ")", "shards",
+                 out);
+  }
+
+  if (spec.oracle_mask & kOracleBatch) {
+    // batch_size==1 is the master switch: the burst knobs must be dead.
+    RunShape c;
+    c.napi = plan.hostile_napi;
+    c.kick = plan.hostile_kick;
+    c.label = "C";
+    const WorldResult rc = run(c);
+    absorb_invariants(rc, "C(batch=1,hostile-knobs)", out);
+    check_strict(a, "A(batch=1)", rc, "C(batch=1,hostile-knobs)", "batch",
+                 out);
+
+    RunShape d;
+    d.batch = plan.batch;
+    d.label = "D";
+    const WorldResult rd = run(d);
+    absorb_invariants(rd, "D(batch=" + std::to_string(d.batch) + ")", out);
+    check_semantic(a, "A(batch=1)",
+                   rd, "D(batch=" + std::to_string(d.batch) + ")", "batch",
+                   out);
+    // In-process re-runnability: the batched shape reproduces itself.
+    const WorldResult rd2 = run(d);
+    absorb_invariants(rd2, "D-rerun", out);
+    check_strict(rd, "D", rd2, "D-rerun", "batch", out);
+  }
+
+  if (spec.oracle_mask & kOracleFlowcache) {
+    RunShape e;
+    e.flowcache = true;
+    e.label = "E";
+    const WorldResult re = run(e);
+    absorb_invariants(re, "E(flowcache)", out);
+    check_semantic(a, "A(fc=off)", re, "E(fc=on)", "flowcache", out);
+
+    // Everything at once, strictly reproduced by its sequential twin.
+    RunShape f;
+    f.shards = plan.alt_shards;
+    f.workers = plan.alt_workers;
+    f.batch = plan.batch;
+    f.flowcache = true;
+    f.label = "F";
+    const WorldResult rf = run(f);
+    absorb_invariants(rf, "F(all-on)", out);
+    RunShape f1 = f;
+    f1.shards = 1;
+    f1.workers = 1;
+    f1.label = "F1";
+    const WorldResult rf1 = run(f1);
+    absorb_invariants(rf1, "F1(all-on,shards=1)", out);
+    check_strict(rf, "F(shards=" + std::to_string(f.shards) + ")",
+                 rf1, "F1(shards=1)", "flowcache", out);
+  }
+
+  return out;
+}
+
+}  // namespace nestv::fuzz

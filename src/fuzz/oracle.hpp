@@ -1,0 +1,65 @@
+// The differential oracles: one seed, paired execution shapes, determinism
+// as the ground truth.
+//
+// For a seed's FuzzPlan, run_case() executes the plan under a set of
+// shapes and asserts the equivalences the simulation engine guarantees:
+//
+//   shards     shards=alt_shards (alt_workers threads) is STRICTLY equal
+//              to shards=1 — the conservative-PDES determinism claim.
+//   batch      (a) batch_size=1 with hostile burst knobs is STRICTLY
+//              equal to the default-knob run: batch_size==1 is the master
+//              switch, so napi_budget / virtio_kick must be dead; and
+//              (b) batch_size>1 is SEMANTICALLY equal to batch_size=1
+//              (latency shifts, application outcomes do not), and
+//              re-running the batched shape reproduces it STRICTLY
+//              (in-process re-runnability).
+//   flowcache  flowcache=on is SEMANTICALLY equal to flowcache=off, and
+//              the combined shape (shards=alt, batch>1, fc=on) is
+//              STRICTLY reproduced by its shards=1 twin.
+//
+// Every run also self-checks invariants (waves quiesce, shards end idle,
+// cached fast paths keep live conntrack backings, the packet pool returns
+// to its pre-run level on teardown); violations surface as failures with
+// oracle name "invariant".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nestv::fuzz {
+
+inline constexpr std::uint32_t kOracleShards = 1U << 0;
+inline constexpr std::uint32_t kOracleBatch = 1U << 1;
+inline constexpr std::uint32_t kOracleFlowcache = 1U << 2;
+inline constexpr std::uint32_t kOracleAll =
+    kOracleShards | kOracleBatch | kOracleFlowcache;
+
+/// A reproducible fuzz case: the seed plus the participation masks the
+/// minimizer shrinks, plus which oracles to evaluate.
+struct CaseSpec {
+  std::uint64_t seed = 0;
+  std::uint64_t flow_mask = ~0ULL;
+  std::uint64_t action_mask = ~0ULL;
+  std::uint32_t oracle_mask = kOracleAll;
+};
+
+struct Failure {
+  /// "shards", "batch", "flowcache" or "invariant".
+  std::string oracle;
+  std::string detail;
+};
+
+struct CaseResult {
+  std::vector<Failure> failures;
+  [[nodiscard]] bool clean() const { return failures.empty(); }
+  /// True if any failure belongs to `oracle`.
+  [[nodiscard]] bool failed(const std::string& oracle) const;
+  [[nodiscard]] std::string report() const;
+};
+
+/// Runs the paired shapes for `spec` and returns every divergence and
+/// invariant violation found.  Deterministic: same spec, same result.
+[[nodiscard]] CaseResult run_case(const CaseSpec& spec);
+
+}  // namespace nestv::fuzz

@@ -1,0 +1,536 @@
+#include "fuzz/world.hpp"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "container/runtime.hpp"
+#include "core/cni.hpp"
+#include "net/packet_pool.hpp"
+#include "scenario/testbed.hpp"
+#include "sim/rng.hpp"
+#include "sim/sharded_conductor.hpp"
+#include "vmm/datacenter.hpp"
+
+namespace nestv::fuzz {
+namespace {
+
+/// Sub-stream ids (Rng::of_stream) for world-side seed derivation.
+constexpr std::uint64_t kMachineStreamBase = 0x2000ULL;  // + machine ordinal
+constexpr std::uint64_t kFlowStreamBase = 0x3000ULL;     // + flow ordinal
+
+/// Count-bounded UDP request/response loop (the wave unit of RR flows).
+/// Unlike the macro scenario's open-ended RrDriver, `remaining` bounds the
+/// wave: the driver issues exactly `remaining` requests and the engine
+/// goes idle when the last reply (or drop) lands.
+struct RrFlow {
+  net::NetworkStack* cli_stack = nullptr;
+  net::NetworkStack* srv_stack = nullptr;
+  sim::SerialResource* cli_app = nullptr;
+  sim::SerialResource* srv_app = nullptr;
+  sim::Engine* cli_engine = nullptr;
+  net::Ipv4Address cli_ip, srv_service_ip, srv_local_ip;
+  std::uint16_t cli_port = 0, srv_port = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t think_quantum = 1;
+  std::uint32_t think_slots = 0;
+  sim::Rng rng{1};
+  sim::TimePoint issued_at = 0;
+  std::uint32_t remaining = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t latency_ns_sum = 0;
+  bool bound = false;
+
+  void issue() {
+    issued_at = cli_engine->now();
+    cli_stack->udp_send(cli_ip, cli_port, srv_service_ip, srv_port, bytes,
+                        cli_app);
+  }
+};
+
+void bind_rr(const std::shared_ptr<RrFlow>& d) {
+  d->srv_stack->udp_bind(
+      d->srv_port, d->srv_app,
+      [d](net::NetworkStack::UdpDelivery& del) {
+        d->srv_stack->udp_send(d->srv_local_ip, d->srv_port, del.src_ip,
+                               del.src_port, d->bytes, d->srv_app);
+      });
+  d->cli_stack->udp_bind(
+      d->cli_port, d->cli_app, [d](net::NetworkStack::UdpDelivery&) {
+        d->latency_ns_sum += d->cli_engine->now() - d->issued_at;
+        ++d->transactions;
+        if (d->remaining == 0) return;
+        --d->remaining;
+        const sim::Duration think =
+            sim::Duration(d->think_quantum *
+                          d->rng.uniform_int(0, d->think_slots));
+        d->cli_engine->schedule_in(think, [d] { d->issue(); });
+      });
+  d->bound = true;
+}
+
+/// Count-bounded TCP sender: each wave queues `remaining` messages; the
+/// connection stays open across waves (closing is not needed for
+/// quiescence — with everything ACKed the stack holds no timers).
+struct StreamFlow {
+  net::NetworkStack* cli_stack = nullptr;
+  sim::SerialResource* cli_app = nullptr;
+  sim::Engine* cli_engine = nullptr;
+  net::Ipv4Address cli_ip, srv_service_ip;
+  std::uint16_t srv_port = 0;
+  std::uint32_t msg_bytes = 0;
+  std::shared_ptr<net::TcpSocket> sock;
+  std::shared_ptr<std::function<void()>> chain;
+  std::shared_ptr<std::uint64_t> delivered =
+      std::make_shared<std::uint64_t>(0);
+  std::uint32_t remaining = 0;
+
+  void pump_wave() {
+    if (sock == nullptr) {
+      sock = std::make_shared<net::TcpSocket>(cli_stack->tcp_connect(
+          cli_ip, srv_service_ip, srv_port, cli_app));
+      auto c = chain;
+      sock->set_on_connected([c] { (*c)(); });
+    } else {
+      (*chain)();
+    }
+  }
+};
+
+container::Runtime::AttachFn immediate_attach() {
+  return [](container::Pod::Fragment&,
+            std::function<void(container::Runtime::AttachOutcome)> done) {
+    done(container::Runtime::AttachOutcome{true, -1, net::Ipv4Address{}});
+  };
+}
+
+void boot(scenario::Testbed& bed, container::Pod::Fragment& frag,
+          const std::string& name, container::Runtime::AttachFn attach,
+          container::Container** out) {
+  bed.runtime_for(*frag.vm).create_container(
+      frag, container::Image{name + "-image"}, name, std::move(attach),
+      [out](container::Container& c, sim::Duration) { *out = &c; });
+}
+
+/// One instantiated flow: the plan's FlowPlan plus the live objects.
+struct LiveFlow {
+  const FlowPlan* plan = nullptr;
+  int index = 0;
+  scenario::Testbed* srv_bed = nullptr;
+  scenario::Testbed* cli_bed = nullptr;
+  container::Pod::Fragment* srv_frag = nullptr;
+  container::Pod::Fragment* cli_frag = nullptr;  // Hostlo only
+  container::Container* srv_container = nullptr;
+  container::Container* cli_container = nullptr;  // Hostlo only
+  vmm::Vm* srv_vm = nullptr;
+  std::vector<core::HostloCni::EndpointInfo> hostlo_eps;
+  std::shared_ptr<RrFlow> rr;
+  std::shared_ptr<StreamFlow> stream;
+
+  [[nodiscard]] bool ready() const {
+    if (srv_container == nullptr) return false;
+    if (plan->mode != FlowMode::kHostloRr) return true;
+    return cli_container != nullptr && hostlo_eps.size() == 2;
+  }
+};
+
+}  // namespace
+
+WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
+                      std::uint64_t flow_mask, std::uint64_t action_mask) {
+  WorldResult out;
+  const std::int64_t pool_before = net::PacketPool::live_nodes();
+  {
+    sim::CostModel costs = plan.costs;
+    costs.batch_size = shape.batch;
+    if (shape.napi != 0) costs.napi_budget = shape.napi;
+    if (shape.kick >= 0) costs.virtio_kick = shape.kick;
+
+    sim::ShardedConductor conductor(shape.shards, costs.fabric_hop_latency,
+                                    shape.workers);
+
+    // ---- machines + fabric ----------------------------------------------
+    const int m_count = plan.machines;
+    std::vector<std::unique_ptr<scenario::Testbed>> beds;
+    beds.reserve(std::size_t(m_count));
+    for (int i = 0; i < m_count; ++i) {
+      scenario::TestbedConfig tc;
+      tc.seed = sim::Rng::mix(plan.seed,
+                              kMachineStreamBase + std::uint64_t(i));
+      tc.costs = costs;
+      tc.engine = &conductor.shard(i * shape.shards / m_count);
+      tc.machine.name = "host" + std::to_string(i);
+      tc.machine.bridge_subnet = net::Ipv4Cidr(
+          net::Ipv4Address(192, 168, std::uint8_t(100 + i), 0), 24);
+      beds.push_back(std::make_unique<scenario::Testbed>(tc));
+    }
+    vmm::PhysicalSwitch fabric(
+        conductor.shard(0), beds[0]->costs(),
+        net::Ipv4Cidr(net::Ipv4Address(10, 10, 0, 0), 24), &conductor);
+    for (auto& bed : beds) fabric.attach(bed->machine());
+
+    // Every stack in construction order (digest + invariant iteration) and
+    // the per-machine stack sets (conntrack GC targets).
+    std::vector<std::pair<std::string, net::NetworkStack*>> all_stacks;
+    std::vector<std::vector<net::NetworkStack*>> machine_stacks{
+        std::size_t(m_count)};
+    for (int i = 0; i < m_count; ++i) {
+      net::NetworkStack* hs = &beds[std::size_t(i)]->machine().stack();
+      all_stacks.emplace_back("host" + std::to_string(i), hs);
+      machine_stacks[std::size_t(i)].push_back(hs);
+    }
+    auto track_stack = [&](const std::string& name, int machine,
+                           net::NetworkStack* s) {
+      all_stacks.emplace_back(name, s);
+      machine_stacks[std::size_t(machine)].push_back(s);
+    };
+
+    // ---- flows -----------------------------------------------------------
+    // Two phases: populate the vector first, then build the world objects,
+    // because boot()/attach_pod() capture addresses of LiveFlow members
+    // and those must survive until the async callbacks fire.
+    std::vector<LiveFlow> flows;
+    flows.reserve(plan.flows.size());
+    for (int k = 0; k < int(plan.flows.size()); ++k) {
+      if ((flow_mask >> k & 1) == 0) continue;
+      LiveFlow f;
+      f.plan = &plan.flows[std::size_t(k)];
+      f.index = k;
+      f.srv_bed = beds[std::size_t(f.plan->srv_machine)].get();
+      f.cli_bed = beds[std::size_t(f.plan->cli_machine)].get();
+      flows.push_back(std::move(f));
+    }
+    for (LiveFlow& f : flows) {
+      const FlowPlan& fp = *f.plan;
+      const std::string fname = "f" + std::to_string(f.index);
+      switch (fp.mode) {
+        case FlowMode::kNatStream: {
+          f.srv_vm = &f.srv_bed->create_vm_with_uplink(fname + "-srv");
+          track_stack(fname + "-srv-vm", fp.srv_machine, &f.srv_vm->stack());
+          auto& pod = f.srv_bed->create_pod(fname + "-pod");
+          f.srv_frag = &pod.add_fragment(*f.srv_vm);
+          track_stack(fname + "-srv-pod", fp.srv_machine,
+                      f.srv_frag->stack.get());
+          core::Cni::Options publish;
+          publish.publish_ports = {fp.srv_port};
+          boot(*f.srv_bed, *f.srv_frag, fname + "-srv",
+               f.srv_bed->nat_cni().attach_fn(publish), &f.srv_container);
+          break;
+        }
+        case FlowMode::kBrFusionRr: {
+          f.srv_vm = &f.srv_bed->create_vm_with_uplink(fname + "-srv");
+          track_stack(fname + "-srv-vm", fp.srv_machine, &f.srv_vm->stack());
+          auto& pod = f.srv_bed->create_pod(fname + "-pod");
+          f.srv_frag = &pod.add_fragment(*f.srv_vm);
+          track_stack(fname + "-srv-pod", fp.srv_machine,
+                      f.srv_frag->stack.get());
+          boot(*f.srv_bed, *f.srv_frag, fname + "-srv",
+               f.srv_bed->brfusion_cni().attach_fn({}), &f.srv_container);
+          break;
+        }
+        case FlowMode::kHostloRr: {
+          vmm::Vm& vm_a = f.srv_bed->create_vm_with_uplink(fname + "-a");
+          vmm::Vm& vm_b = f.srv_bed->create_vm_with_uplink(fname + "-b");
+          track_stack(fname + "-a-vm", fp.srv_machine, &vm_a.stack());
+          track_stack(fname + "-b-vm", fp.srv_machine, &vm_b.stack());
+          auto& pod = f.srv_bed->create_pod(fname + "-pod");
+          f.cli_frag = &pod.add_fragment(vm_a);
+          f.srv_frag = &pod.add_fragment(vm_b);
+          f.srv_vm = &vm_b;
+          track_stack(fname + "-cli-pod", fp.srv_machine,
+                      f.cli_frag->stack.get());
+          track_stack(fname + "-srv-pod", fp.srv_machine,
+                      f.srv_frag->stack.get());
+          LiveFlow* fl = &f;
+          f.srv_bed->hostlo_cni().attach_pod(
+              pod, [fl](std::vector<core::HostloCni::EndpointInfo> eps) {
+                fl->hostlo_eps = std::move(eps);
+              });
+          boot(*f.srv_bed, *f.cli_frag, fname + "-cli", immediate_attach(),
+               &f.cli_container);
+          boot(*f.srv_bed, *f.srv_frag, fname + "-srv", immediate_attach(),
+               &f.srv_container);
+          break;
+        }
+      }
+    }
+
+    // ---- deployment ------------------------------------------------------
+    const sim::Duration deploy_step = sim::milliseconds(10);
+    const sim::TimePoint deploy_limit = sim::seconds(30);
+    auto all_ready = [&flows] {
+      for (const LiveFlow& f : flows) {
+        if (!f.ready()) return false;
+      }
+      return true;
+    };
+    while (!all_ready()) {
+      if (conductor.now() >= deploy_limit) {
+        out.invariant_failures.push_back("deployment timed out");
+        return out;
+      }
+      conductor.run_until(conductor.now() + deploy_step);
+    }
+
+    if (shape.flowcache) {
+      for (auto& [name, s] : all_stacks) s->set_flowcache(true);
+    }
+
+    // ---- driver setup ----------------------------------------------------
+    for (LiveFlow& f : flows) {
+      const FlowPlan& fp = *f.plan;
+      const std::string fname = "f" + std::to_string(f.index);
+      sim::Rng flow_rng = sim::Rng::of_stream(
+          plan.seed, kFlowStreamBase + std::uint64_t(f.index));
+      if (fp.mode == FlowMode::kNatStream) {
+        auto d = std::make_shared<StreamFlow>();
+        d->cli_stack = &f.cli_bed->machine().stack();
+        d->cli_app = &f.cli_bed->machine().make_app_core(fname + "-cli");
+        d->cli_engine = &f.cli_bed->engine();
+        d->cli_ip = f.cli_bed->machine().bridge_ip();
+        d->srv_service_ip = f.srv_vm->stack().iface_ip(
+            f.srv_vm->stack().ifindex_of("eth0"));
+        d->srv_port = fp.srv_port;
+        d->msg_bytes = fp.msg_bytes;
+        auto chain = std::make_shared<std::function<void()>>();
+        d->chain = chain;
+        StreamFlow* dp = d.get();
+        *chain = [dp, chain] {
+          if (dp->remaining == 0) return;
+          --dp->remaining;
+          dp->sock->send(dp->msg_bytes, [chain] { (*chain)(); });
+        };
+        auto delivered = d->delivered;
+        f.srv_frag->stack->tcp_listen(
+            fp.srv_port, f.srv_container->app_core(),
+            [delivered](net::TcpSocket sock) {
+              sock.set_on_receive(
+                  [delivered](std::uint32_t n) { *delivered += n; });
+            });
+        f.stream = std::move(d);
+      } else {
+        auto d = std::make_shared<RrFlow>();
+        if (fp.mode == FlowMode::kBrFusionRr) {
+          d->cli_stack = &f.cli_bed->machine().stack();
+          d->cli_app = &f.cli_bed->machine().make_app_core(fname + "-cli");
+          d->cli_ip = f.cli_bed->machine().bridge_ip();
+          d->srv_service_ip = f.srv_frag->stack->iface_ip(
+              f.srv_frag->stack->ifindex_of("eth0"));
+          d->srv_local_ip = d->srv_service_ip;
+        } else {
+          d->cli_stack = f.cli_frag->stack.get();
+          d->cli_app = f.cli_container->app_core();
+          d->cli_ip = f.hostlo_eps[0].ip;
+          d->srv_service_ip = f.hostlo_eps[1].ip;
+          d->srv_local_ip = f.hostlo_eps[1].ip;
+        }
+        d->srv_stack = f.srv_frag->stack.get();
+        d->srv_app = f.srv_container->app_core();
+        d->cli_engine = &f.cli_bed->engine();
+        d->cli_port = fp.cli_port;
+        d->srv_port = fp.srv_port;
+        d->bytes = fp.msg_bytes;
+        d->think_quantum = fp.think_quantum;
+        d->think_slots = fp.think_slots;
+        d->rng = flow_rng;
+        bind_rr(d);
+        f.rr = std::move(d);
+      }
+    }
+
+    // ---- waves -----------------------------------------------------------
+    // Quiesce = two consecutive rounds with every shard idle: the second
+    // round flushes any mail a shard posted during its final window, so
+    // "idle" means queues AND mailboxes are empty.
+    auto quiesce = [&conductor, &out](int wave) {
+      const sim::TimePoint limit = conductor.now() + sim::seconds(5);
+      int idle_rounds = 0;
+      while (idle_rounds < 2) {
+        conductor.run_until(conductor.now() + sim::milliseconds(1));
+        bool idle = true;
+        for (int s = 0; s < conductor.shards(); ++s) {
+          idle = idle && conductor.shard(s).idle();
+        }
+        idle_rounds = idle ? idle_rounds + 1 : 0;
+        if (conductor.now() >= limit) {
+          out.invariant_failures.push_back(
+              "wave " + std::to_string(wave) + " did not quiesce");
+          return false;
+        }
+      }
+      return true;
+    };
+
+    for (int w = 0; w < plan.waves; ++w) {
+      const sim::TimePoint base = conductor.now() + sim::milliseconds(1);
+      for (LiveFlow& f : flows) {
+        const std::uint32_t work = f.plan->wave_work[std::size_t(w)];
+        if (work == 0) continue;
+        // Collision-prone flows share the exact start instant; the rest
+        // spread out like the macro scenario's flows.
+        sim::TimePoint start = base;
+        if (!f.plan->collision_prone) {
+          start += std::uint64_t(f.index) * sim::microseconds(200);
+        }
+        sim::Engine* eng = f.stream != nullptr ? f.stream->cli_engine
+                                               : f.rr->cli_engine;
+        if (f.stream != nullptr) {
+          StreamFlow* d = f.stream.get();
+          d->remaining = work;
+          eng->schedule_at(start, [d] { d->pump_wave(); });
+        } else {
+          RrFlow* d = f.rr.get();
+          d->remaining = work - 1;  // the kick-off request is one of them
+          eng->schedule_at(start, [d] { d->issue(); });
+        }
+      }
+      if (!quiesce(w)) return out;
+
+      // ---- boundary actions ---------------------------------------------
+      for (int a = 0; a < int(plan.actions.size()); ++a) {
+        if ((action_mask >> a & 1) == 0) continue;
+        const ActionPlan& act = plan.actions[std::size_t(a)];
+        if (act.boundary != w) continue;
+        if (act.flow >= 0 && (flow_mask >> act.flow & 1) == 0) continue;
+        switch (act.kind) {
+          case ActionKind::kAddDropRule: {
+            const FlowPlan& fp = plan.flows[std::size_t(act.flow)];
+            net::Rule rule;
+            rule.match.proto = net::L4Proto::kUdp;
+            rule.match.dport = fp.srv_port;
+            rule.target = net::TargetKind::kDrop;
+            rule.comment = "fuzz-drop-" + std::to_string(act.flow);
+            beds[std::size_t(fp.srv_machine)]
+                ->machine()
+                .stack()
+                .netfilter()
+                .add_filter_rule(net::Hook::kForward, rule);
+            break;
+          }
+          case ActionKind::kAddNoiseRules: {
+            auto& nf =
+                beds[std::size_t(act.machine)]->machine().stack().netfilter();
+            for (int i = 0; i < act.count; ++i) {
+              net::Rule rule;
+              rule.match.dst = net::Ipv4Cidr(
+                  net::Ipv4Address(203, 0, 113, std::uint8_t(i)), 32);
+              rule.target = net::TargetKind::kAccept;
+              rule.comment = "fuzz-noise";
+              nf.add_filter_rule(net::Hook::kForward, rule);
+            }
+            break;
+          }
+          case ActionKind::kRemoveNoiseRules:
+            beds[std::size_t(act.machine)]
+                ->machine()
+                .stack()
+                .netfilter()
+                .remove_filter_rules(net::Hook::kForward, "fuzz-noise");
+            break;
+          case ActionKind::kFdbFlush:
+            beds[std::size_t(act.machine)]->machine().bridge().fdb().flush();
+            fabric.fabric().fdb().flush();
+            break;
+          case ActionKind::kConntrackGc:
+            for (net::NetworkStack* s :
+                 machine_stacks[std::size_t(act.machine)]) {
+              s->conntrack_gc(0);
+            }
+            break;
+          case ActionKind::kNicUnplug: {
+            for (LiveFlow& f : flows) {
+              if (f.index != act.flow) continue;
+              net::NetworkStack& ps = *f.srv_frag->stack;
+              ps.detach_interface(ps.ifindex_of("eth0"));
+            }
+            break;
+          }
+        }
+      }
+    }
+
+    // ---- invariants ------------------------------------------------------
+    for (int s = 0; s < conductor.shards(); ++s) {
+      if (!conductor.shard(s).idle()) {
+        out.invariant_failures.push_back(
+            "shard " + std::to_string(s) + " not idle after final wave");
+      }
+    }
+    // Every cached fast path must still have a live conntrack backing (a
+    // read-only sweep: the predicate always declines to invalidate).
+    for (auto& [name, s] : all_stacks) {
+      const net::Netfilter& nf = s->netfilter();
+      std::size_t stale = 0;
+      s->flow_cache().invalidate_if(
+          [&nf, &stale](const net::flowcache::FlowKey&,
+                        const net::flowcache::CachedPath& p) {
+            if (p.ct_id != 0 && !nf.conn_alive(p.ct_id)) ++stale;
+            return false;
+          });
+      if (stale > 0) {
+        out.invariant_failures.push_back(
+            name + ": " + std::to_string(stale) +
+            " flowcache entries outlive their conntrack backing");
+      }
+    }
+
+    // ---- digests ---------------------------------------------------------
+    for (LiveFlow& f : flows) {
+      const std::string p = "flow" + std::to_string(f.index) + ".";
+      const std::uint64_t txns =
+          f.rr != nullptr ? f.rr->transactions : 0;
+      const std::uint64_t bytes =
+          f.stream != nullptr ? *f.stream->delivered : 0;
+      out.semantic.add(p + "transactions", txns);
+      out.semantic.add(p + "bytes", bytes);
+      out.strict.add(p + "transactions", txns);
+      out.strict.add(p + "bytes", bytes);
+      if (f.rr != nullptr) {
+        out.strict.add(p + "latency_ns", f.rr->latency_ns_sum);
+      }
+    }
+    for (auto& [name, s] : all_stacks) {
+      const std::string p = name + ".";
+      out.strict.add(p + "forwarded", s->packets_forwarded());
+      out.strict.add(p + "delivered", s->packets_delivered());
+      out.strict.add(p + "dropped", s->packets_dropped());
+      out.strict.add(p + "arp_tx", s->arp_requests_sent());
+      out.strict.add(p + "hook_traversals",
+                     s->netfilter().hook_traversals());
+      out.strict.add(p + "conntrack", s->netfilter().conntrack_size());
+      out.strict.add(p + "fc_size", s->flow_cache().size());
+      out.strict.add(p + "fc_hits", s->flow_cache().hits());
+      out.strict.add(p + "fc_misses", s->flow_cache().misses());
+      out.strict.add(p + "fc_invalidations",
+                     s->flow_cache().invalidations());
+    }
+    for (int i = 0; i < m_count; ++i) {
+      const std::string p = "bridge" + std::to_string(i) + ".";
+      net::Bridge& b = beds[std::size_t(i)]->machine().bridge();
+      out.strict.add(p + "floods", b.floods());
+      out.strict.add(p + "fdb", b.fdb().size());
+    }
+    out.strict.add("fabric.floods", fabric.fabric().floods());
+    out.strict.add("fabric.fdb", fabric.fabric().fdb().size());
+    out.strict.add("events_total", conductor.total_events());
+    out.strict.add("end_time", std::uint64_t(conductor.now()));
+    out.completed = true;
+
+    // Break the send-chain's self-reference before teardown.
+    for (LiveFlow& f : flows) {
+      if (f.stream != nullptr && f.stream->chain != nullptr) {
+        *f.stream->chain = nullptr;
+      }
+    }
+  }
+  // ---- leak-on-teardown oracle ------------------------------------------
+  const std::int64_t pool_after = net::PacketPool::live_nodes();
+  if (pool_after != pool_before) {
+    out.invariant_failures.push_back(
+        "packet pool leaked " + std::to_string(pool_after - pool_before) +
+        " nodes across teardown");
+  }
+  return out;
+}
+
+}  // namespace nestv::fuzz

@@ -34,6 +34,17 @@ std::size_t Fdb::expire(sim::TimePoint now) {
   return evicted;
 }
 
+std::size_t Fdb::flush() {
+  std::size_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    const MacAddress mac = it->first;
+    it = table_.erase(it);
+    ++evicted;
+    if (on_evict_) on_evict_(mac);
+  }
+  return evicted;
+}
+
 Bridge::Bridge(sim::Engine& engine, std::string name,
                const sim::CostModel& costs, bool guest_level)
     : Device(engine, std::move(name), costs), guest_level_(guest_level) {}

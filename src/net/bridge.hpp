@@ -31,6 +31,11 @@ class Fdb {
   /// listener (the kernel's periodic br_fdb_cleanup).
   std::size_t expire(sim::TimePoint now);
 
+  /// Removes every entry, notifying the listener for each MAC (the
+  /// `bridge fdb flush` / STP-topology-change full flush).  Subsequent
+  /// frames flood until the table relearns.
+  std::size_t flush();
+
  private:
   struct Entry {
     int port;

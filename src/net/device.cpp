@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sim/sharded_conductor.hpp"
+#include "sim/test_hooks.hpp"
 
 namespace nestv::net {
 
@@ -130,6 +131,18 @@ void Device::transmit(int port, EthernetFrame frame) {
     assert(slot.wire_rank < (std::uint64_t{1} << 23) &&
            slot.wire_seq < (std::uint64_t{1} << 40));
     const std::uint64_t key = (slot.wire_rank << 40) | slot.wire_seq++;
+    if (sim::test_hooks::unkeyed_wire_delivery) {
+      // Injected ordering bug (fuzz harness self-test): deliver without
+      // the key, so same-instant arrivals at the peer fire in execution-
+      // mode-dependent order.
+      if (slot.fabric != nullptr) {
+        slot.fabric->post(slot.self_shard, slot.peer_shard, when,
+                          std::move(deliver));
+      } else {
+        engine_->schedule_at(when, std::move(deliver));
+      }
+      return;
+    }
     if (slot.fabric != nullptr) {
       slot.fabric->post_keyed(slot.self_shard, slot.peer_shard, when, key,
                               std::move(deliver));

@@ -22,6 +22,7 @@ PacketPool::Bin* PacketPool::bin_for(std::size_t bytes) noexcept {
 }
 
 void* PacketPool::allocate(std::size_t bytes) {
+  live_nodes_.fetch_add(1, std::memory_order_relaxed);
   Bin* b = bin_for(bytes);
   if (b != nullptr && !b->free.empty()) {
     void* p = b->free.back();
@@ -34,6 +35,7 @@ void* PacketPool::allocate(std::size_t bytes) {
 }
 
 void PacketPool::deallocate(void* p, std::size_t bytes) noexcept {
+  live_nodes_.fetch_sub(1, std::memory_order_relaxed);
   Bin* b = bin_for(bytes);
   if (b != nullptr) {
     b->free.push_back(p);

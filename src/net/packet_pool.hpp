@@ -15,6 +15,7 @@
 // bench/abl_engine_perf.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -51,6 +52,17 @@ class PacketPool {
   static void count_clone() noexcept { ++frames_cloned_; }
   static void reset_frames_cloned() noexcept { frames_cloned_ = 0; }
 
+  /// Heap-allocated Packet/EthernetFrame nodes currently alive across the
+  /// whole process.  Global (not per-thread) because a frame allocated on
+  /// one conductor worker thread may be freed on another; relaxed atomics
+  /// suffice since the count is only read between runs, after the
+  /// conductor's workers have joined.  The fuzz harness snapshots this
+  /// before building a world and asserts it is restored after teardown —
+  /// the leak-on-teardown oracle.
+  static std::int64_t live_nodes() noexcept {
+    return live_nodes_.load(std::memory_order_relaxed);
+  }
+
   ~PacketPool() { trim(); }
 
  private:
@@ -68,6 +80,7 @@ class PacketPool {
   std::uint64_t fresh_ = 0;
 
   inline static thread_local std::uint64_t frames_cloned_ = 0;
+  inline static std::atomic<std::int64_t> live_nodes_{0};
 };
 
 }  // namespace nestv::net

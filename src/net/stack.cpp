@@ -2,6 +2,7 @@
 
 #include "net/pcap.hpp"
 #include "net/trace.hpp"
+#include "sim/test_hooks.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -58,8 +59,10 @@ NetworkStack::NetworkStack(sim::Engine& engine, std::string name,
       fcache_(costs.flowcache_capacity) {
   // Rule-table edits flush exactly the cached flows the changed rule
   // could have matched (on either their ingress or post-NAT header view).
-  nf_.set_mutation_listener(
-      [this](const RuleMatch& m) { fcache_.invalidate_match(m); });
+  nf_.set_mutation_listener([this](const RuleMatch& m) {
+    if (sim::test_hooks::skip_flowcache_rule_invalidation) return;
+    fcache_.invalidate_match(m);
+  });
   // Interface 0 is always loopback.
   Interface lo;
   lo.cfg.name = "lo";

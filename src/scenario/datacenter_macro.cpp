@@ -14,6 +14,11 @@
 namespace nestv::scenario {
 namespace {
 
+/// Sub-stream ids for Rng::of_stream / Rng::mix seed derivation.
+constexpr std::uint64_t kTraceStream = 0x6d616372ULL;  // "macr"
+constexpr std::uint64_t kFlowStreamBase = 0x1000ULL;   // + flow ordinal
+constexpr std::uint64_t kMachineStreamBase = 0x2000ULL;  // + machine ordinal
+
 /// UDP request/response loop driving itself on the client's engine.  The
 /// think time between transactions is jittered from a per-flow RNG so
 /// concurrent flows never collide on an exact nanosecond at a shared
@@ -175,7 +180,8 @@ DatacenterMacroResult run_datacenter_macro(
   beds.reserve(std::size_t(m_count));
   for (int i = 0; i < m_count; ++i) {
     TestbedConfig tc;
-    tc.seed = config.seed + 1 + std::uint64_t(i);
+    tc.seed = sim::Rng::mix(config.seed,
+                            kMachineStreamBase + std::uint64_t(i));
     tc.costs = config.costs;
     tc.engine = &conductor.shard(i * config.shards / m_count);
     tc.machine.name = "host" + std::to_string(i);
@@ -191,7 +197,8 @@ DatacenterMacroResult run_datacenter_macro(
 
   // ---- the population: schedule the Google-like trace -----------------
   trace::TraceConfig tcfg;
-  tcfg.seed = config.seed ^ 0x6d616372ULL;  // decoupled from machine seeds
+  // Decoupled from machine seeds via the canonical sub-stream derivation.
+  tcfg.seed = sim::Rng::mix(config.seed, kTraceStream);
   tcfg.users = config.trace_users;
   const auto users = trace::generate_google_like_trace(tcfg);
   orch::AwsM5Catalog catalog;
@@ -288,7 +295,8 @@ DatacenterMacroResult run_datacenter_macro(
   const sim::TimePoint stop_at = start_base + config.measure_window;
   for (int k = 0; k < config.flows; ++k) {
     Flow& f = flows[std::size_t(k)];
-    sim::Rng flow_rng(config.seed * 1000003ULL + std::uint64_t(k) * 7919ULL);
+    sim::Rng flow_rng =
+        sim::Rng::of_stream(config.seed, kFlowStreamBase + std::uint64_t(k));
     const sim::TimePoint start = start_base +
                                  std::uint64_t(k) * sim::microseconds(200) +
                                  flow_rng.uniform_int(0, 50000);

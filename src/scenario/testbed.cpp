@@ -4,6 +4,12 @@
 #include <stdexcept>
 
 namespace nestv::scenario {
+namespace {
+
+/// Sub-stream id for the FlowCache CNI's boot-jitter RNG (Rng::of_stream).
+constexpr std::uint64_t kFlowCacheCniStream = 0x666c6f77ULL;  // "flow"
+
+}  // namespace
 
 Testbed::Testbed(TestbedConfig config)
     : costs_(config.costs), use_vhost_(config.use_vhost) {
@@ -25,7 +31,7 @@ Testbed::Testbed(TestbedConfig config)
   // this CNI does not shift the fork sequence (and thus every jittered
   // timing) of the pre-existing scenarios.
   flowcache_cni_ = std::make_unique<core::FlowCacheCni>(
-      sim::Rng(config.seed ^ 0x666c6f77cafeULL));
+      sim::Rng::of_stream(config.seed, kFlowCacheCniStream));
   brfusion_cni_ = std::make_unique<core::BrFusionCni>(
       *channel_, machine_->rng().fork());
   hostlo_cni_ = std::make_unique<core::HostloCni>(*channel_);

@@ -99,4 +99,14 @@ Rng Rng::fork() {
   return Rng(next_u64());
 }
 
+std::uint64_t Rng::mix(std::uint64_t seed, std::uint64_t stream) {
+  // Two dependent SplitMix64 draws: the first advances a state seeded by
+  // `seed`, the second folds `stream` into that state.  Either argument
+  // changing by one bit avalanches through both finalizers.
+  std::uint64_t state = seed;
+  const std::uint64_t a = splitmix64(state);
+  state ^= stream;
+  return a ^ splitmix64(state);
+}
+
 }  // namespace nestv::sim

@@ -50,6 +50,22 @@ class Rng {
   /// another's randomness.
   Rng fork();
 
+  /// Mixes a stream id into a base seed (two SplitMix64 finalizer rounds):
+  /// the canonical way to derive per-purpose sub-seeds from one scenario
+  /// seed.  Replaces the ad-hoc xor/multiply mixes scenarios used to carry
+  /// (`seed ^ 0x...`, `seed * 1000003 + k * 7919`) with one well-mixed,
+  /// collision-resistant derivation.
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t seed,
+                                         std::uint64_t stream);
+
+  /// An Rng on the sub-stream `stream` of `seed`: Rng(mix(seed, stream)).
+  /// Distinct stream ids give statistically independent generators;
+  /// callers name their streams with small constants or entity indices.
+  [[nodiscard]] static Rng of_stream(std::uint64_t seed,
+                                     std::uint64_t stream) {
+    return Rng(mix(seed, stream));
+  }
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -1,0 +1,50 @@
+// Test-only fault-injection hooks for the differential-oracle harness.
+//
+// Each flag, when set, re-introduces one bug class the codebase's
+// equivalence invariants were built to exclude.  They exist so the fuzz
+// oracles (src/fuzz) can prove they are able to fail: a harness that has
+// never caught a real divergence is indistinguishable from one that
+// compares nothing.  Production code paths read the flags but never set
+// them; only tests and `fuzz_runner --inject-bug` flip them, and always
+// restore them to false.
+//
+// The flags are plain (non-atomic) bools: they are toggled only while no
+// simulation is running, and a sharded run's worker threads are created
+// after the toggle and joined before the next one (ShardedConductor spawns
+// and joins its workers inside every run_until call), so the conductor's
+// barriers order the writes.
+#pragma once
+
+namespace nestv::sim::test_hooks {
+
+/// Wire transmits drop their (link rank, link seq) ordering key and fall
+/// back to plain scheduling / unkeyed mail.  Same-nanosecond arrivals at a
+/// shared device then fire in schedule order (single engine) vs
+/// (src shard, post order) drain order (conductor) — the ordering bug the
+/// keyed delivery of DESIGN.md section 10 fixes.  Caught by the shards
+/// oracle.
+inline bool unkeyed_wire_delivery = false;
+
+/// VirtioNic treats batch_size == 1 as batched: the kick-coalescing /
+/// NAPI datapath runs even though the master switch is off, so the burst
+/// knobs (napi_budget, virtio_kick) leak into batch_size=1 timing.  This
+/// breaks the PR-4 invariant that batch_size=1 with arbitrary burst knobs
+/// is bit-identical to the default cost model.  Caught by the batching
+/// oracle.
+inline bool force_virtio_batching = false;
+
+/// NetworkStack ignores netfilter rule-table mutations instead of flushing
+/// the matching flow-cache entries: a flow whose path was cached before a
+/// DROP rule landed keeps forwarding from the cache.  Caught by the
+/// flowcache oracle (flowcache-on diverges semantically from
+/// flowcache-off).
+inline bool skip_flowcache_rule_invalidation = false;
+
+/// Restores every hook to its production value.
+inline void reset() {
+  unkeyed_wire_delivery = false;
+  force_virtio_batching = false;
+  skip_flowcache_rule_invalidation = false;
+}
+
+}  // namespace nestv::sim::test_hooks

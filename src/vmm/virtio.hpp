@@ -17,6 +17,7 @@
 #include "sim/burst_queue.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/resource.hpp"
+#include "sim/test_hooks.hpp"
 
 namespace nestv::vmm {
 
@@ -62,7 +63,10 @@ class VirtioNic : public net::InterfaceBackend {
  private:
   [[nodiscard]] sim::Duration host_side_cost(
       const net::EthernetFrame& f) const;
-  [[nodiscard]] bool batched() const { return costs_->batch_size > 1; }
+  [[nodiscard]] bool batched() const {
+    return costs_->batch_size > 1 ||
+           sim::test_hooks::force_virtio_batching;
+  }
   [[nodiscard]] sim::Duration guest_ring_work() const {
     // Hostlo endpoints lack the offload/batching features of vhost-net
     // devices: extra guest-side work per frame (CostModel).

@@ -88,6 +88,10 @@ def load_execution(bench_dir: str) -> dict:
 
 def compare(expected: dict, actual: dict, tolerance_pct: float,
             expected_label: str, actual_label: str) -> int:
+    """Symmetric comparison: a bench or metric present on only one side
+    is a failure in both directions.  A produced metric with no baseline
+    means the baseline is stale (re-run snapshot); a baseline metric the
+    bench no longer emits means the bench silently lost coverage."""
     failures = 0
     for bench, metrics in sorted(expected.items()):
         if bench not in actual:
@@ -109,9 +113,14 @@ def compare(expected: dict, actual: dict, tolerance_pct: float,
                 print(f"FAIL {bench}.{name}: expected {want!r}, got {got!r} "
                       f"(deviation {dev:.4g}% > {tolerance_pct}%)")
                 failures += 1
+        for name in sorted(set(actual[bench]) - set(metrics)):
+            print(f"FAIL {bench}.{name}: present in {actual_label} but not "
+                  f"in {expected_label} (baseline stale? re-run snapshot)")
+            failures += 1
     for bench in sorted(set(actual) - set(expected)):
-        print(f"note: {bench} has no expected baseline yet "
-              f"(run snapshot to record it)")
+        print(f"FAIL {bench}: present in {actual_label} but has no "
+              f"baseline in {expected_label} (re-run snapshot to record it)")
+        failures += 1
     return failures
 
 
@@ -193,7 +202,6 @@ def main() -> int:
     a = load_dir(args.dir_a)
     b = load_dir(args.dir_b)
     failures = compare(a, b, 0.0, args.dir_a, args.dir_b)
-    failures += len(set(b) - set(a))
     if failures:
         print(f"{failures} difference(s) between {args.dir_a} and "
               f"{args.dir_b}")
