@@ -4,16 +4,17 @@
 
 namespace nestv::container {
 
-Pod::Fragment& Pod::add_fragment(vmm::Vm& vm) {
+Pod::Fragment& Pod::add_fragment(vmm::Vm& vm, net::StackMode mode) {
   auto frag = std::make_unique<Fragment>();
   frag->pod = this;
   frag->vm = &vm;
-  frag->stack = std::make_unique<net::NetworkStack>(
-      vm.host().engine(),
-      "pod/" + name_ + "@" + vm.name(),
-      vm.host().costs(), &vm.softirq());
+  frag->stack = net::make_stack(mode, vm.host().engine(),
+                                "pod/" + name_ + "@" + vm.name(),
+                                vm.host().costs(), &vm.softirq());
   // kube-proxy & friends leave a few chains even in pod namespaces.
-  frag->stack->netfilter().install_standing_rules(4);
+  if (frag->stack->has_netfilter()) {
+    frag->stack->netfilter().install_standing_rules(4);
+  }
   fragments_.push_back(std::move(frag));
   return *fragments_.back();
 }

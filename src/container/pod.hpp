@@ -11,6 +11,7 @@
 
 #include "container/container.hpp"
 #include "net/stack.hpp"
+#include "net/stack_backend.hpp"
 #include "vmm/vm.hpp"
 
 namespace nestv::container {
@@ -23,7 +24,7 @@ class Pod {
   struct Fragment {
     Pod* pod = nullptr;
     vmm::Vm* vm = nullptr;
-    std::unique_ptr<net::NetworkStack> stack;
+    std::unique_ptr<net::StackBackend> stack;
     std::vector<std::unique_ptr<Container>> containers;
   };
 
@@ -32,7 +33,11 @@ class Pod {
   Pod(const Pod&) = delete;
   Pod& operator=(const Pod&) = delete;
 
-  Fragment& add_fragment(vmm::Vm& vm);
+  /// Adds one netns in `vm`; `mode` picks the fragment's stack flavour
+  /// (kFull keeps pre-seam behavior; kFastPath runs the compact pipeline —
+  /// no netfilter chains, so no standing rules are installed).
+  Fragment& add_fragment(vmm::Vm& vm,
+                         net::StackMode mode = net::StackMode::kFull);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::vector<std::unique_ptr<Fragment>>& fragments() {

@@ -4,7 +4,8 @@
 // fails; --minimize additionally shrinks each failure and emits a
 // self-contained regression test into the corpus directory.
 //
-// --inject-bug {shards|batch|flowcache} flips the matching test hook and
+// --inject-bug {shards|batch|flowcache|faststack} flips the matching test
+// hook and
 // INVERTS the exit semantics: the run succeeds (exit 0) only if at least
 // one seed in the range makes the oracle detect the injected divergence.
 // This is how CI proves the fuzzer can actually catch the bug classes it
@@ -35,7 +36,7 @@ struct Options {
   bool minimize = false;
   bool quiet = false;
   std::string out_dir = "tests/fuzz_corpus";
-  std::string inject;  // "", "shards", "batch", "flowcache"
+  std::string inject;  // "", "shards", "batch", "flowcache", "faststack"
 };
 
 bool parse_seeds(const std::string& arg, Options& opt) {
@@ -55,7 +56,7 @@ bool parse_seeds(const std::string& arg, Options& opt) {
                "fuzz_runner: %s\n"
                "usage: fuzz_runner [--seeds A..B] [--time-budget S] "
                "[--minimize] [--out-dir DIR] [--inject-bug "
-               "shards|batch|flowcache] [--quiet]\n",
+               "shards|batch|flowcache|faststack] [--quiet]\n",
                msg);
   std::exit(2);
 }
@@ -68,6 +69,8 @@ bool apply_injection(const std::string& name) {
     hooks::force_virtio_batching = true;
   } else if (name == "flowcache") {
     hooks::skip_flowcache_rule_invalidation = true;
+  } else if (name == "faststack") {
+    hooks::faststack_dup_udp_delivery = true;
   } else {
     return false;
   }
@@ -78,7 +81,14 @@ std::uint32_t injection_oracle_mask(const std::string& name) {
   if (name == "shards") return nestv::fuzz::kOracleShards;
   if (name == "batch") return nestv::fuzz::kOracleBatch;
   if (name == "flowcache") return nestv::fuzz::kOracleFlowcache;
+  if (name == "faststack") return nestv::fuzz::kOracleBackend;
   return nestv::fuzz::kOracleAll;
+}
+
+/// The oracle expected to catch an injected bug class (the fast-path
+/// duplication bug surfaces in the "backend" oracle).
+std::string injection_oracle_name(const std::string& name) {
+  return name == "faststack" ? "backend" : name;
 }
 
 }  // namespace
@@ -138,7 +148,7 @@ int main(int argc, char** argv) {
 
     ++failed;
     if (!opt.inject.empty() &&
-        result.failed(opt.inject)) {
+        result.failed(injection_oracle_name(opt.inject))) {
       ++detected;
     }
     if (!opt.quiet) {

@@ -133,6 +133,22 @@ CaseResult run_case(const CaseSpec& spec) {
                  rf1, "F1(shards=1)", "flowcache", out);
   }
 
+  if (spec.oracle_mask & kOracleBackend) {
+    // Pods on the compact fast-path stack: no netfilter, fused pipeline,
+    // different per-packet costs — application outcomes must not move.
+    RunShape g;
+    g.fastpath_pods = true;
+    g.label = "G";
+    const WorldResult rg = run(g);
+    absorb_invariants(rg, "G(fastpath-pods)", out);
+    check_semantic(a, "A(fullstack)", rg, "G(fastpath-pods)", "backend",
+                   out);
+    // And the fast-path shape is itself deterministic.
+    const WorldResult rg2 = run(g);
+    absorb_invariants(rg2, "G-rerun", out);
+    check_strict(rg, "G", rg2, "G-rerun", "backend", out);
+  }
+
   return out;
 }
 

@@ -16,6 +16,10 @@
 //   flowcache  flowcache=on is SEMANTICALLY equal to flowcache=off, and
 //              the combined shape (shards=alt, batch>1, fc=on) is
 //              STRICTLY reproduced by its shards=1 twin.
+//   backend    pods on FastPathStack are SEMANTICALLY equal to pods on
+//              the full stack (the StackBackend seam must not change
+//              delivered work — only timing), and the fast-path shape
+//              re-runs STRICTLY equal to itself.
 //
 // Every run also self-checks invariants (waves quiesce, shards end idle,
 // cached fast paths keep live conntrack backings, the packet pool returns
@@ -32,8 +36,9 @@ namespace nestv::fuzz {
 inline constexpr std::uint32_t kOracleShards = 1U << 0;
 inline constexpr std::uint32_t kOracleBatch = 1U << 1;
 inline constexpr std::uint32_t kOracleFlowcache = 1U << 2;
+inline constexpr std::uint32_t kOracleBackend = 1U << 3;
 inline constexpr std::uint32_t kOracleAll =
-    kOracleShards | kOracleBatch | kOracleFlowcache;
+    kOracleShards | kOracleBatch | kOracleFlowcache | kOracleBackend;
 
 /// A reproducible fuzz case: the seed plus the participation masks the
 /// minimizer shrinks, plus which oracles to evaluate.
@@ -45,7 +50,7 @@ struct CaseSpec {
 };
 
 struct Failure {
-  /// "shards", "batch", "flowcache" or "invariant".
+  /// "shards", "batch", "flowcache", "backend" or "invariant".
   std::string oracle;
   std::string detail;
 };

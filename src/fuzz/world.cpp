@@ -24,8 +24,8 @@ constexpr std::uint64_t kFlowStreamBase = 0x3000ULL;     // + flow ordinal
 /// wave: the driver issues exactly `remaining` requests and the engine
 /// goes idle when the last reply (or drop) lands.
 struct RrFlow {
-  net::NetworkStack* cli_stack = nullptr;
-  net::NetworkStack* srv_stack = nullptr;
+  net::StackBackend* cli_stack = nullptr;
+  net::StackBackend* srv_stack = nullptr;
   sim::SerialResource* cli_app = nullptr;
   sim::SerialResource* srv_app = nullptr;
   sim::Engine* cli_engine = nullptr;
@@ -51,12 +51,12 @@ struct RrFlow {
 void bind_rr(const std::shared_ptr<RrFlow>& d) {
   d->srv_stack->udp_bind(
       d->srv_port, d->srv_app,
-      [d](net::NetworkStack::UdpDelivery& del) {
+      [d](net::StackBackend::UdpDelivery& del) {
         d->srv_stack->udp_send(d->srv_local_ip, d->srv_port, del.src_ip,
                                del.src_port, d->bytes, d->srv_app);
       });
   d->cli_stack->udp_bind(
-      d->cli_port, d->cli_app, [d](net::NetworkStack::UdpDelivery&) {
+      d->cli_port, d->cli_app, [d](net::StackBackend::UdpDelivery&) {
         d->latency_ns_sum += d->cli_engine->now() - d->issued_at;
         ++d->transactions;
         if (d->remaining == 0) return;
@@ -73,7 +73,7 @@ void bind_rr(const std::shared_ptr<RrFlow>& d) {
 /// connection stays open across waves (closing is not needed for
 /// quiescence — with everything ACKed the stack holds no timers).
 struct StreamFlow {
-  net::NetworkStack* cli_stack = nullptr;
+  net::StackBackend* cli_stack = nullptr;
   sim::SerialResource* cli_app = nullptr;
   sim::Engine* cli_engine = nullptr;
   net::Ipv4Address cli_ip, srv_service_ip;
@@ -171,16 +171,16 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
 
     // Every stack in construction order (digest + invariant iteration) and
     // the per-machine stack sets (conntrack GC targets).
-    std::vector<std::pair<std::string, net::NetworkStack*>> all_stacks;
-    std::vector<std::vector<net::NetworkStack*>> machine_stacks{
+    std::vector<std::pair<std::string, net::StackBackend*>> all_stacks;
+    std::vector<std::vector<net::StackBackend*>> machine_stacks{
         std::size_t(m_count)};
     for (int i = 0; i < m_count; ++i) {
-      net::NetworkStack* hs = &beds[std::size_t(i)]->machine().stack();
+      net::StackBackend* hs = &beds[std::size_t(i)]->machine().stack();
       all_stacks.emplace_back("host" + std::to_string(i), hs);
       machine_stacks[std::size_t(i)].push_back(hs);
     }
     auto track_stack = [&](const std::string& name, int machine,
-                           net::NetworkStack* s) {
+                           net::StackBackend* s) {
       all_stacks.emplace_back(name, s);
       machine_stacks[std::size_t(machine)].push_back(s);
     };
@@ -200,6 +200,9 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
       f.cli_bed = beds[std::size_t(f.plan->cli_machine)].get();
       flows.push_back(std::move(f));
     }
+    const net::StackMode pod_mode = shape.fastpath_pods
+                                        ? net::StackMode::kFastPath
+                                        : net::StackMode::kFull;
     for (LiveFlow& f : flows) {
       const FlowPlan& fp = *f.plan;
       const std::string fname = "f" + std::to_string(f.index);
@@ -208,7 +211,7 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
           f.srv_vm = &f.srv_bed->create_vm_with_uplink(fname + "-srv");
           track_stack(fname + "-srv-vm", fp.srv_machine, &f.srv_vm->stack());
           auto& pod = f.srv_bed->create_pod(fname + "-pod");
-          f.srv_frag = &pod.add_fragment(*f.srv_vm);
+          f.srv_frag = &pod.add_fragment(*f.srv_vm, pod_mode);
           track_stack(fname + "-srv-pod", fp.srv_machine,
                       f.srv_frag->stack.get());
           core::Cni::Options publish;
@@ -221,7 +224,7 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
           f.srv_vm = &f.srv_bed->create_vm_with_uplink(fname + "-srv");
           track_stack(fname + "-srv-vm", fp.srv_machine, &f.srv_vm->stack());
           auto& pod = f.srv_bed->create_pod(fname + "-pod");
-          f.srv_frag = &pod.add_fragment(*f.srv_vm);
+          f.srv_frag = &pod.add_fragment(*f.srv_vm, pod_mode);
           track_stack(fname + "-srv-pod", fp.srv_machine,
                       f.srv_frag->stack.get());
           boot(*f.srv_bed, *f.srv_frag, fname + "-srv",
@@ -234,8 +237,8 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
           track_stack(fname + "-a-vm", fp.srv_machine, &vm_a.stack());
           track_stack(fname + "-b-vm", fp.srv_machine, &vm_b.stack());
           auto& pod = f.srv_bed->create_pod(fname + "-pod");
-          f.cli_frag = &pod.add_fragment(vm_a);
-          f.srv_frag = &pod.add_fragment(vm_b);
+          f.cli_frag = &pod.add_fragment(vm_a, pod_mode);
+          f.srv_frag = &pod.add_fragment(vm_b, pod_mode);
           f.srv_vm = &vm_b;
           track_stack(fname + "-cli-pod", fp.srv_machine,
                       f.cli_frag->stack.get());
@@ -432,7 +435,7 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
             fabric.fabric().fdb().flush();
             break;
           case ActionKind::kConntrackGc:
-            for (net::NetworkStack* s :
+            for (net::StackBackend* s :
                  machine_stacks[std::size_t(act.machine)]) {
               s->conntrack_gc(0);
             }
@@ -440,7 +443,7 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
           case ActionKind::kNicUnplug: {
             for (LiveFlow& f : flows) {
               if (f.index != act.flow) continue;
-              net::NetworkStack& ps = *f.srv_frag->stack;
+              net::StackBackend& ps = *f.srv_frag->stack;
               ps.detach_interface(ps.ifindex_of("eth0"));
             }
             break;
@@ -458,7 +461,9 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
     }
     // Every cached fast path must still have a live conntrack backing (a
     // read-only sweep: the predicate always declines to invalidate).
+    // Only meaningful on backends that carry both subsystems.
     for (auto& [name, s] : all_stacks) {
+      if (!s->has_netfilter() || !s->has_flowcache()) continue;
       const net::Netfilter& nf = s->netfilter();
       std::size_t stale = 0;
       s->flow_cache().invalidate_if(
@@ -495,14 +500,19 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
       out.strict.add(p + "delivered", s->packets_delivered());
       out.strict.add(p + "dropped", s->packets_dropped());
       out.strict.add(p + "arp_tx", s->arp_requests_sent());
+      // Capability-gated counters read as 0 on backends without the
+      // subsystem so the strict key set stays identical across shapes.
+      const bool nf = s->has_netfilter();
+      const bool fc = s->has_flowcache();
       out.strict.add(p + "hook_traversals",
-                     s->netfilter().hook_traversals());
-      out.strict.add(p + "conntrack", s->netfilter().conntrack_size());
-      out.strict.add(p + "fc_size", s->flow_cache().size());
-      out.strict.add(p + "fc_hits", s->flow_cache().hits());
-      out.strict.add(p + "fc_misses", s->flow_cache().misses());
+                     nf ? s->netfilter().hook_traversals() : 0);
+      out.strict.add(p + "conntrack",
+                     nf ? s->netfilter().conntrack_size() : 0);
+      out.strict.add(p + "fc_size", fc ? s->flow_cache().size() : 0);
+      out.strict.add(p + "fc_hits", fc ? s->flow_cache().hits() : 0);
+      out.strict.add(p + "fc_misses", fc ? s->flow_cache().misses() : 0);
       out.strict.add(p + "fc_invalidations",
-                     s->flow_cache().invalidations());
+                     fc ? s->flow_cache().invalidations() : 0);
     }
     for (int i = 0; i < m_count; ++i) {
       const std::string p = "bridge" + std::to_string(i) + ".";

@@ -42,6 +42,11 @@ struct RunShape {
   std::uint32_t napi = 0;     ///< overrides napi_budget when non-zero
   sim::Duration kick = -1;    ///< overrides virtio_kick when >= 0
   bool flowcache = false;
+  /// Pod fragments run net::FastPathStack instead of the full stack.  The
+  /// backend oracle compares this shape's *semantic* digest against the
+  /// baseline: delivered work must match even though the compact pipeline
+  /// has no netfilter/GRO and different per-packet costs.
+  bool fastpath_pods = false;
   std::string label;          ///< for failure reports ("A", "B", ...)
 };
 

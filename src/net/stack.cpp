@@ -12,49 +12,12 @@
 
 namespace nestv::net {
 
-// ---- TcpSocket ------------------------------------------------------------
+// ---- FullStack --------------------------------------------------------------
 
-void TcpSocket::send(std::uint32_t bytes, sim::InlineTask&& on_queued) {
-  conn_->app_send(bytes, std::move(on_queued));
-}
-void TcpSocket::set_on_writable(std::function<void()> cb) {
-  conn_->set_on_writable(std::move(cb));
-}
-std::uint32_t TcpSocket::buffered() const { return conn_->buffered(); }
-std::uint16_t TcpSocket::local_port() const { return conn_->local_port(); }
-std::uint16_t TcpSocket::remote_port() const { return conn_->remote_port(); }
-std::uint32_t TcpSocket::congestion_window() const {
-  return conn_->congestion_window();
-}
-double TcpSocket::srtt_ns() const { return conn_->srtt_ns(); }
-void TcpSocket::set_on_receive(std::function<void(std::uint32_t)> cb) {
-  conn_->set_on_receive(std::move(cb));
-}
-void TcpSocket::set_on_connected(std::function<void()> cb) {
-  conn_->set_on_connected(std::move(cb));
-}
-void TcpSocket::set_on_closed(std::function<void()> cb) {
-  conn_->set_on_closed(std::move(cb));
-}
-void TcpSocket::close() { conn_->close(); }
-bool TcpSocket::established() const {
-  return conn_->state() == TcpConnection::State::kEstablished;
-}
-std::uint64_t TcpSocket::bytes_received() const {
-  return conn_->bytes_received();
-}
-std::uint64_t TcpSocket::bytes_sent() const { return conn_->bytes_sent(); }
-std::uint64_t TcpSocket::retransmits() const { return conn_->retransmits(); }
-
-// ---- NetworkStack -----------------------------------------------------------
-
-NetworkStack::NetworkStack(sim::Engine& engine, std::string name,
-                           const sim::CostModel& costs,
-                           sim::SerialResource* softirq)
-    : engine_(&engine),
-      name_(std::move(name)),
-      costs_(&costs),
-      softirq_(softirq),
+FullStack::FullStack(sim::Engine& engine, std::string name,
+                     const sim::CostModel& costs,
+                     sim::SerialResource* softirq)
+    : StackBackend(engine, std::move(name), costs, softirq),
       nf_(costs),
       fcache_(costs.flowcache_capacity) {
   // Rule-table edits flush exactly the cached flows the changed rule
@@ -74,10 +37,10 @@ NetworkStack::NetworkStack(sim::Engine& engine, std::string name,
   routes_.add_connected(ifaces_[0].cfg.subnet, 0);
 }
 
-NetworkStack::~NetworkStack() = default;
+FullStack::~FullStack() = default;
 
-int NetworkStack::add_interface(InterfaceBackend& backend,
-                                const InterfaceConfig& cfg) {
+int FullStack::add_interface(InterfaceBackend& backend,
+                             const InterfaceConfig& cfg) {
   const int ifindex = static_cast<int>(ifaces_.size());
   Interface itf;
   itf.cfg = cfg;
@@ -94,36 +57,36 @@ int NetworkStack::add_interface(InterfaceBackend& backend,
   return ifindex;
 }
 
-void NetworkStack::configure_loopback(std::uint32_t gso_bytes) {
+void FullStack::configure_loopback(std::uint32_t gso_bytes) {
   ifaces_[0].cfg.gso_bytes = gso_bytes;
 }
 
-int NetworkStack::ifindex_of(const std::string& name) const {
+int FullStack::ifindex_of(const std::string& name) const {
   for (std::size_t i = 0; i < ifaces_.size(); ++i) {
     if (ifaces_[i].cfg.name == name) return static_cast<int>(i);
   }
   return -1;
 }
 
-Ipv4Address NetworkStack::iface_ip(int ifindex) const {
+Ipv4Address FullStack::iface_ip(int ifindex) const {
   return ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.ip;
 }
 
-MacAddress NetworkStack::iface_mac(int ifindex) const {
+MacAddress FullStack::iface_mac(int ifindex) const {
   return ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.mac;
 }
 
-void NetworkStack::set_iface_gso(int ifindex, std::uint32_t gso_bytes) {
+void FullStack::set_iface_gso(int ifindex, std::uint32_t gso_bytes) {
   ifaces_.at(static_cast<std::size_t>(ifindex)).cfg.gso_bytes = gso_bytes;
 }
 
-void NetworkStack::seed_neighbor(int ifindex, Ipv4Address ip,
-                                 MacAddress mac) {
+void FullStack::seed_neighbor(int ifindex, Ipv4Address ip,
+                              MacAddress mac) {
   ifaces_.at(static_cast<std::size_t>(ifindex))
       .neighbors.insert(ip, mac, engine_->now());
 }
 
-std::uint32_t NetworkStack::egress_gso(Ipv4Address dst) const {
+std::uint32_t FullStack::egress_gso(Ipv4Address dst) const {
   if (is_local_address(dst)) return ifaces_[0].cfg.gso_bytes;
   const auto r = routes_.lookup(dst);
   if (!r || r->ifindex < 0 ||
@@ -133,7 +96,7 @@ std::uint32_t NetworkStack::egress_gso(Ipv4Address dst) const {
   return ifaces_[static_cast<std::size_t>(r->ifindex)].cfg.gso_bytes;
 }
 
-bool NetworkStack::is_local_address(Ipv4Address a) const {
+bool FullStack::is_local_address(Ipv4Address a) const {
   if (a.is_loopback()) return true;
   for (const Interface& i : ifaces_) {
     if (!i.cfg.ip.is_unspecified() && i.cfg.ip == a) return true;
@@ -141,57 +104,9 @@ bool NetworkStack::is_local_address(Ipv4Address a) const {
   return false;
 }
 
-void NetworkStack::softirq_run(sim::Duration work, sim::InlineTask&& then) {
-  if (softirq_ == nullptr) {
-    if (work == 0) {
-      then();
-    } else {
-      engine_->schedule_in(work, std::move(then));
-    }
-    return;
-  }
-  if (costs_->batch_size > 1) {
-    if (!softirq_sink_ || &softirq_sink_->resource() != softirq_) {
-      softirq_sink_ =
-          std::make_unique<sim::BatchSink>(*softirq_, costs_->napi_budget);
-    }
-    softirq_sink_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
-    return;
-  }
-  softirq_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
-}
-
-void NetworkStack::resource_run(sim::SerialResource* res,
-                                sim::CpuCategory category, sim::Duration work,
-                                sim::InlineTask&& then) {
-  if (res == nullptr) {
-    if (work == 0) {
-      then();
-    } else {
-      engine_->schedule_in(work, std::move(then));
-    }
-    return;
-  }
-  if (costs_->batch_size > 1) {
-    // Submissions cluster by resource (an app's send loop), so a one-entry
-    // cache skips the hash lookup on the hot path.
-    if (res != last_app_res_) {
-      auto& sink = app_sinks_[res];
-      if (!sink) {
-        sink = std::make_unique<sim::BatchSink>(*res, costs_->napi_budget);
-      }
-      last_app_res_ = res;
-      last_app_sink_ = sink.get();
-    }
-    last_app_sink_->submit_as(category, work, std::move(then));
-    return;
-  }
-  res->submit_as(category, work, std::move(then));
-}
-
 // ---- RX path ----------------------------------------------------------------
 
-void NetworkStack::rx(int ifindex, EthernetFrame frame) {
+void FullStack::rx(int ifindex, EthernetFrame frame) {
   const Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
   if (capture_ != nullptr) capture_->record(engine_->now(), frame);
   // MAC filter: frames not for us (Hostlo's reflect-to-all-queues shows
@@ -224,7 +139,7 @@ void NetworkStack::rx(int ifindex, EthernetFrame frame) {
   ip_rx(ifindex, std::move(p));
 }
 
-void NetworkStack::rx_train(int ifindex, std::vector<EthernetFrame> frames) {
+void FullStack::rx_train(int ifindex, std::vector<EthernetFrame> frames) {
   if (frames.size() == 1) {
     rx(ifindex, std::move(frames[0]));
     return;
@@ -278,7 +193,7 @@ void NetworkStack::rx_train(int ifindex, std::vector<EthernetFrame> frames) {
   flush_carry();
 }
 
-void NetworkStack::gro_rx(int ifindex, Packet p, sim::Duration* carry) {
+void FullStack::gro_rx(int ifindex, Packet p, sim::Duration* carry) {
   const ConnKey key{p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto};
   auto it = gro_flows_.find(key);
   // In train mode the per-frame merge charges pool in *carry; they must be
@@ -344,7 +259,7 @@ void NetworkStack::gro_rx(int ifindex, Packet p, sim::Duration* carry) {
   }
 }
 
-void NetworkStack::reassemble_rx(int ifindex, Packet p) {
+void FullStack::reassemble_rx(int ifindex, Packet p) {
   const ReassemblyKey key{p.src_ip, p.dst_ip, p.ip_id};
   auto it = reassembly_.find(key);
   if (it == reassembly_.end()) {
@@ -379,7 +294,7 @@ void NetworkStack::reassemble_rx(int ifindex, Packet p) {
   }
 }
 
-void NetworkStack::gro_flush(const ConnKey& key) {
+void FullStack::gro_flush(const ConnKey& key) {
   const auto it = gro_flows_.find(key);
   if (it == gro_flows_.end()) return;
   GroFlow flow = std::move(it->second);
@@ -390,7 +305,7 @@ void NetworkStack::gro_flush(const ConnKey& key) {
   ip_rx(flow.ifindex, std::move(flow.merged));
 }
 
-void NetworkStack::ip_rx(int ifindex, Packet p) {
+void FullStack::ip_rx(int ifindex, Packet p) {
   // nf_defrag: fragments are reassembled before any hook runs.
   if (p.frag_more || p.frag_offset > 0) {
     reassemble_rx(ifindex, std::move(p));
@@ -417,7 +332,7 @@ void NetworkStack::ip_rx(int ifindex, Packet p) {
   ip_rx_one(ifindex, std::move(p));
 }
 
-void NetworkStack::ip_rx_one(int ifindex, Packet p) {
+void FullStack::ip_rx_one(int ifindex, Packet p) {
   if (flowcache_enabled_ && flowcache_rx(ifindex, p)) return;
   // Remember the ingress-time identity before any hook rewrites headers;
   // the slow path memoizes its outcome under this key.
@@ -505,7 +420,7 @@ void NetworkStack::ip_rx_one(int ifindex, Packet p) {
 
 // ---- local delivery ----------------------------------------------------------
 
-void NetworkStack::deliver_local(Packet p, int ifindex) {
+void FullStack::deliver_local(Packet p, int ifindex) {
   (void)ifindex;
   ++delivered_;
   if (p.proto == L4Proto::kUdp) {
@@ -519,7 +434,7 @@ void NetworkStack::deliver_local(Packet p, int ifindex) {
   }
 }
 
-void NetworkStack::deliver_icmp(const Packet& p) {
+void FullStack::deliver_icmp(const Packet& p) {
   if (p.icmp_type == 8) {
     // Echo request: reply in kernel context (no app wakeup).
     Packet reply;
@@ -550,8 +465,8 @@ void NetworkStack::deliver_icmp(const Packet& p) {
   if (icmp_error_handler_) icmp_error_handler_(p);
 }
 
-void NetworkStack::send_icmp_error(const Packet& offender, std::uint8_t type,
-                                   std::uint8_t code) {
+void FullStack::send_icmp_error(const Packet& offender, std::uint8_t type,
+                                std::uint8_t code) {
   // Never generate errors about ICMP errors (RFC 1122) or unknown sources.
   if (offender.proto == L4Proto::kIcmp && offender.icmp_type != 8) return;
   if (offender.src_ip.is_unspecified()) return;
@@ -570,79 +485,13 @@ void NetworkStack::send_icmp_error(const Packet& offender, std::uint8_t type,
   l4_emit(costs_->l4_segment, std::move(err));
 }
 
-void NetworkStack::deliver_udp(Packet p) {
-  const auto it = udp_binds_.find(p.dst_port);
-  if (it == udp_binds_.end()) {
-    ++dropped_;
-    send_icmp_error(p, 3, 3);  // destination port unreachable
-    return;
-  }
-  UdpBinding& bind = it->second;
-  UdpDelivery d{p.payload_bytes, p.src_ip, p.src_port, p.sent_at, nullptr};
-  if (p.inner) {
-    // Sole consumer from here on: hand the inner frame over instead of
-    // deep-copying it (the shared_ptr only exists to keep UdpDelivery
-    // copyable for the scheduled app path).
-    d.inner = std::shared_ptr<EthernetFrame>(std::move(p.inner));
-  }
-  if (bind.kernel) {
-    // In-kernel consumer (VXLAN VTEP): no wakeup, no syscall.
-    bind.handler(d);
-    return;
-  }
-  const auto& c = *costs_;
-  const auto app_cost = c.syscall_pkt + c.l4_segment +
-                        static_cast<sim::Duration>(
-                            c.copy_byte * static_cast<double>(p.payload_bytes));
-  // Wakeup latency, then the recvfrom() on the app's CPU.
-  engine_->schedule_in(c.rx_wakeup, [this, &bind, d, app_cost]() mutable {
-    if (bind.app != nullptr) {
-      resource_run(bind.app, sim::CpuCategory::kSys, app_cost,
-                   [&bind, d]() mutable { bind.handler(d); });
-    } else {
-      bind.handler(d);
-    }
-  });
-}
-
-void NetworkStack::deliver_tcp(Packet p) {
-  if (nestv_trace_enabled())
-    std::fprintf(stderr, "[%s t=%llu] deliver_tcp %s seq=%u ack=%u\n", name_.c_str(),
-                 (unsigned long long)engine_->now(), p.describe().c_str(), p.tcp_seq, p.tcp_ack);
-  const TcpKey key{p.dst_ip, p.dst_port, p.src_ip, p.src_port};
-  const auto it = tcp_conns_.find(key);
-  if (it != tcp_conns_.end()) {
-    TcpConnection* conn = it->second.get();
-    softirq_run(costs_->l4_segment,
-                [conn, pkt = std::move(p)]() mutable {
-                  conn->on_segment(std::move(pkt));
-                });
-    return;
-  }
-  const auto lit = tcp_listeners_.find(p.dst_port);
-  if (lit != tcp_listeners_.end() && p.tcp_flags.syn && !p.tcp_flags.ack) {
-    TcpConnection& conn = create_connection(key, lit->second.app);
-    // Install the app's handlers (accept callback) before the handshake
-    // completes so no delivery is missed.
-    lit->second.on_accept(TcpSocket(&conn));
-    softirq_run(costs_->l4_segment,
-                [&conn, pkt = std::move(p)]() mutable {
-                  conn.open_passive(pkt);
-                });
-    return;
-  }
-  ++dropped_;
+void FullStack::udp_unbound(const Packet& p) {
+  send_icmp_error(p, 3, 3);  // destination port unreachable
 }
 
 // ---- TX path -------------------------------------------------------------------
 
-void NetworkStack::l4_emit(sim::Duration l4_work, Packet p) {
-  softirq_run(l4_work, [this, pkt = std::move(p)]() mutable {
-    emit_packet(std::move(pkt));
-  });
-}
-
-void NetworkStack::emit_packet(Packet p) {
+void FullStack::emit_packet(Packet p) {
   p.ct_id = 0;
   p.ct_reply = false;
   if (p.packet_id == 0) p.packet_id = next_packet_id();
@@ -685,9 +534,9 @@ void NetworkStack::emit_packet(Packet p) {
   });
 }
 
-void NetworkStack::egress(Packet p, int out_ifindex,
-                          const std::string& in_iface,
-                          std::optional<flowcache::FlowKey> record) {
+void FullStack::egress(Packet p, int out_ifindex,
+                       const std::string& in_iface,
+                       std::optional<flowcache::FlowKey> record) {
   if (nestv_trace_enabled()) std::fprintf(stderr, "[%s t=%llu] egress if=%d %s\n", name_.c_str(), (unsigned long long)engine_->now(), out_ifindex, p.describe().c_str());
   const Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
   const auto post = nf_.run_hook(Hook::kPostrouting, p, in_iface,
@@ -703,7 +552,7 @@ void NetworkStack::egress(Packet p, int out_ifindex,
               });
 }
 
-void NetworkStack::arp_resolve_and_send(
+void FullStack::arp_resolve_and_send(
     Packet p, int out_ifindex, std::optional<flowcache::FlowKey> record) {
   Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
   if (itf.backend == nullptr) {
@@ -763,7 +612,7 @@ void NetworkStack::arp_resolve_and_send(
   itf.backend->xmit(std::move(f));
 }
 
-void NetworkStack::send_arp_request(int ifindex, Ipv4Address target) {
+void FullStack::send_arp_request(int ifindex, Ipv4Address target) {
   Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
   ++arp_tx_;
   EthernetFrame f;
@@ -777,7 +626,7 @@ void NetworkStack::send_arp_request(int ifindex, Ipv4Address target) {
   itf.backend->xmit(std::move(f));
 }
 
-void NetworkStack::handle_arp(int ifindex, const EthernetFrame& frame) {
+void FullStack::handle_arp(int ifindex, const EthernetFrame& frame) {
   Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
   // Learn the sender either way.
   itf.neighbors.insert(frame.arp_sender_ip, frame.arp_sender_mac,
@@ -806,11 +655,11 @@ void NetworkStack::handle_arp(int ifindex, const EthernetFrame& frame) {
   }
 }
 
-void NetworkStack::loopback_deliver(Packet p) { deliver_local(std::move(p), 0); }
+void FullStack::loopback_deliver(Packet p) { deliver_local(std::move(p), 0); }
 
 // ---- flow cache ------------------------------------------------------------
 
-bool NetworkStack::flowcache_rx(int ifindex, Packet& p) {
+bool FullStack::flowcache_rx(int ifindex, Packet& p) {
   using Action = flowcache::CachedPath::Action;
   const auto key = flowcache::FlowKey::of(p, ifindex);
   const flowcache::CachedPath* path = fcache_.lookup(key);
@@ -888,10 +737,10 @@ bool NetworkStack::flowcache_rx(int ifindex, Packet& p) {
   return false;
 }
 
-void NetworkStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
-                               flowcache::CachedPath::Action action,
-                               int out_ifindex, MacAddress next_hop_mac,
-                               const std::string& out_iface) {
+void FullStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
+                            flowcache::CachedPath::Action action,
+                            int out_ifindex, MacAddress next_hop_mac,
+                            const std::string& out_iface) {
   flowcache::CachedPath path;
   path.action = action;
   path.out_ifindex = out_ifindex;
@@ -914,13 +763,13 @@ void NetworkStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
   fcache_.insert(key, std::move(path));
 }
 
-std::size_t NetworkStack::conntrack_gc(sim::Duration idle_timeout) {
+std::size_t FullStack::conntrack_gc(sim::Duration idle_timeout) {
   const auto reaped = nf_.gc(engine_->now(), idle_timeout);
   for (const std::uint64_t id : reaped) fcache_.invalidate_conn(id);
   return reaped.size();
 }
 
-void NetworkStack::detach_interface(int ifindex) {
+void FullStack::detach_interface(int ifindex) {
   Interface& itf = ifaces_.at(static_cast<std::size_t>(ifindex));
   if (itf.backend != nullptr) itf.backend->set_rx({});
   itf.backend = nullptr;
@@ -933,59 +782,10 @@ void NetworkStack::detach_interface(int ifindex) {
   fcache_.invalidate_ifindex(ifindex);
 }
 
-// ---- UDP API --------------------------------------------------------------------
-
-void NetworkStack::udp_bind(std::uint16_t port, sim::SerialResource* app,
-                            UdpHandler handler) {
-  udp_binds_[port] = UdpBinding{app, std::move(handler), false};
-}
-
-void NetworkStack::udp_bind_kernel(std::uint16_t port, UdpHandler handler) {
-  udp_binds_[port] = UdpBinding{nullptr, std::move(handler), true};
-}
-
-void NetworkStack::udp_unbind(std::uint16_t port) { udp_binds_.erase(port); }
-
-void NetworkStack::udp_send(Ipv4Address src_ip, std::uint16_t src_port,
-                            Ipv4Address dst_ip, std::uint16_t dst_port,
-                            std::uint32_t bytes, sim::SerialResource* app,
-                            sim::InlineTask&& on_sent) {
-  const auto& c = *costs_;
-  const auto app_cost =
-      c.syscall_pkt +
-      static_cast<sim::Duration>(c.copy_byte * static_cast<double>(bytes));
-  auto emit = [this, src_ip, src_port, dst_ip, dst_port, bytes] {
-    Packet p;
-    p.src_ip = src_ip;
-    p.dst_ip = dst_ip;
-    p.proto = L4Proto::kUdp;
-    p.src_port = src_port;
-    p.dst_port = dst_port;
-    p.payload_bytes = bytes;
-    p.ip_id = next_ip_id_++;
-    p.packet_id = next_packet_id();
-    p.sent_at = engine_->now();
-    l4_emit(costs_->l4_segment, std::move(p));
-  };
-  // `on_sent` rides as its own zero-cost FIFO item right behind the emit:
-  // capturing an InlineTask inside the emit closure would overflow its
-  // inline buffer (a task cannot nest inside another task's storage) and
-  // put an allocation back on the per-datagram path.
-  if (app != nullptr) {
-    resource_run(app, sim::CpuCategory::kSys, app_cost, std::move(emit));
-    if (on_sent) {
-      resource_run(app, sim::CpuCategory::kSys, 0, std::move(on_sent));
-    }
-  } else {
-    emit();
-    if (on_sent) on_sent();
-  }
-}
-
 // ---- ICMP API -------------------------------------------------------------------
 
-void NetworkStack::ping(Ipv4Address dst, std::uint32_t payload_bytes,
-                        std::function<void(sim::Duration)> done) {
+void FullStack::ping(Ipv4Address dst, std::uint32_t payload_bytes,
+                     std::function<void(sim::Duration)> done) {
   const std::uint16_t seq = next_ping_seq_++;
   pings_[seq] = PendingPing{engine_->now(), std::move(done)};
   Packet p;
@@ -1000,33 +800,6 @@ void NetworkStack::ping(Ipv4Address dst, std::uint32_t payload_bytes,
   p.packet_id = next_packet_id();
   p.sent_at = engine_->now();
   l4_emit(costs_->l4_segment, std::move(p));
-}
-
-// ---- TCP API --------------------------------------------------------------------
-
-void NetworkStack::tcp_listen(std::uint16_t port, sim::SerialResource* app,
-                              AcceptHandler on_accept) {
-  tcp_listeners_[port] = TcpListener{app, std::move(on_accept)};
-}
-
-TcpSocket NetworkStack::tcp_connect(Ipv4Address src_ip, Ipv4Address dst_ip,
-                                    std::uint16_t dst_port,
-                                    sim::SerialResource* app) {
-  const std::uint16_t sport = next_ephemeral_port_++;
-  const TcpKey key{src_ip, sport, dst_ip, dst_port};
-  TcpConnection& conn = create_connection(key, app);
-  conn.open_active();
-  return TcpSocket(&conn);
-}
-
-TcpConnection& NetworkStack::create_connection(const TcpKey& key,
-                                               sim::SerialResource* app) {
-  auto conn = std::make_unique<TcpConnection>(
-      *this, key.local_ip, key.local_port, key.remote_ip, key.remote_port,
-      app);
-  TcpConnection& ref = *conn;
-  tcp_conns_[key] = std::move(conn);
-  return ref;
 }
 
 }  // namespace nestv::net

@@ -1,10 +1,12 @@
-// NetworkStack: one network namespace's L3/L4 machinery.
+// FullStack: one network namespace's full-featured L3/L4 machinery — the
+// default StackBackend (see net/stack_backend.hpp for the seam).
 //
 // Owns interfaces (each bound to an InterfaceBackend), a routing table, ARP
-// neighbour caches, a Netfilter instance and the UDP/TCP socket tables.
-// A stack instance stands for: the host kernel's init netns, a guest
-// kernel's init netns, or a pod's network namespace — all of which appear
-// in the paper's fig 1 datapaths.
+// neighbour caches, a Netfilter instance, GRO/reassembly state and the
+// per-flow fast-path cache; the UDP/TCP socket tables live in the shared
+// StackBackend base.  A stack instance stands for: the host kernel's init
+// netns, a guest kernel's init netns, or a pod's network namespace — all of
+// which appear in the paper's fig 1 datapaths.
 //
 // CPU model: protocol work (IP processing, netfilter hooks, TCP/UDP segment
 // handling) runs on the stack's softirq SerialResource, charged as kSoft —
@@ -19,7 +21,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "net/netfilter.hpp"
 #include "net/packet.hpp"
 #include "net/route.hpp"
+#include "net/stack_backend.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
@@ -37,82 +39,27 @@
 
 namespace nestv::net {
 
-class TcpConnection;
-class NetworkStack;
-
-/// Application-facing handle to one TCP connection.
-class TcpSocket {
+class FullStack : public StackBackend {
  public:
-  /// Queues `bytes` for transmission.  `app` is charged the syscall and
-  /// user->kernel copy; segmentation happens asynchronously in softirq.
-  /// `on_queued` (optional) fires once the bytes entered the send buffer —
-  /// i.e. when the (blocking) send() syscall would have returned.
-  void send(std::uint32_t bytes, sim::InlineTask&& on_queued = {});
+  FullStack(sim::Engine& engine, std::string name,
+            const sim::CostModel& costs, sim::SerialResource* softirq);
+  ~FullStack() override;
 
-  /// Called with the byte count of each chunk delivered to the app.
-  void set_on_receive(std::function<void(std::uint32_t)> cb);
-  /// Called once the three-way handshake completes (client side).
-  void set_on_connected(std::function<void()> cb);
-  void set_on_closed(std::function<void()> cb);
-  /// Fires whenever the send buffer drains below one window.
-  void set_on_writable(std::function<void()> cb);
-
-  void close();
-
-  [[nodiscard]] bool established() const;
-  [[nodiscard]] std::uint64_t bytes_received() const;
-  [[nodiscard]] std::uint64_t bytes_sent() const;
-  [[nodiscard]] std::uint64_t retransmits() const;
-  [[nodiscard]] std::uint32_t buffered() const;
-  [[nodiscard]] std::uint16_t local_port() const;
-  [[nodiscard]] std::uint16_t remote_port() const;
-  /// Effective congestion window (== flow-control window when congestion
-  /// control is disabled in the cost model).
-  [[nodiscard]] std::uint32_t congestion_window() const;
-  /// Smoothed RTT estimate in ns (0 until the first sample; congestion
-  /// control must be enabled).
-  [[nodiscard]] double srtt_ns() const;
-
- private:
-  friend class NetworkStack;
-  friend class TcpConnection;
-  explicit TcpSocket(TcpConnection* conn) : conn_(conn) {}
-  TcpConnection* conn_;
-};
-
-struct InterfaceConfig {
-  std::string name;
-  MacAddress mac;
-  Ipv4Address ip;
-  Ipv4Cidr subnet;
-  std::uint32_t mtu = 1500;
-  /// Effective TCP segment size when transmitting out this interface
-  /// (models TSO/GSO; see CostModel's gso_* discussion).
-  std::uint32_t gso_bytes = 1448;
-};
-
-class NetworkStack {
- public:
-  NetworkStack(sim::Engine& engine, std::string name,
-               const sim::CostModel& costs, sim::SerialResource* softirq);
-  ~NetworkStack();
-
-  NetworkStack(const NetworkStack&) = delete;
-  NetworkStack& operator=(const NetworkStack&) = delete;
+  [[nodiscard]] StackKind kind() const override {
+    return StackKind::kFullStack;
+  }
 
   // ---- configuration ----------------------------------------------------
-  /// Attaches an interface; the stack installs itself as the backend's RX
-  /// handler and adds a connected route for the subnet.  Returns ifindex.
-  int add_interface(InterfaceBackend& backend, const InterfaceConfig& cfg);
+  int add_interface(InterfaceBackend& backend,
+                    const InterfaceConfig& cfg) override;
 
-  /// The loopback interface (always ifindex 0); gso defaults to the cost
-  /// model's gso_loopback.
-  void configure_loopback(std::uint32_t gso_bytes);
+  void configure_loopback(std::uint32_t gso_bytes) override;
 
-  [[nodiscard]] RoutingTable& routes() { return routes_; }
-  [[nodiscard]] Netfilter& netfilter() { return nf_; }
-  [[nodiscard]] const Netfilter& netfilter() const { return nf_; }
-  void set_forwarding(bool on) { forwarding_ = on; }
+  [[nodiscard]] RoutingTable& routes() override { return routes_; }
+  [[nodiscard]] bool has_netfilter() const override { return true; }
+  [[nodiscard]] Netfilter& netfilter() override { return nf_; }
+  [[nodiscard]] const Netfilter& netfilter() const override { return nf_; }
+  void set_forwarding(bool on) override { forwarding_ = on; }
 
   /// br_netfilter effect: a stack that bridges+NATs container traffic must
   /// linearize GSO super-frames so netfilter can inspect them; incoming TCP
@@ -120,7 +67,7 @@ class NetworkStack {
   /// each paying the full per-packet hook/bridge/veth costs.  Zero = off.
   /// This asymmetry (BrFusion/NoCont keep TSO end-to-end, the nested NAT
   /// path does not) is the mechanistic root of the paper's fig 2.
-  void set_forced_resegment(std::uint32_t bytes) {
+  void set_forced_resegment(std::uint32_t bytes) override {
     forced_resegment_ = bytes;
   }
 
@@ -129,7 +76,7 @@ class NetworkStack {
   /// under interrupt pressure.  The paper's fig 10 observes NAT/Overlay
   /// latencies that "vary greatly and in unexpected manners" while Hostlo
   /// (which forwards through no guest stack) stays flat.
-  void set_forward_jitter(double sigma, std::uint64_t seed) {
+  void set_forward_jitter(double sigma, std::uint64_t seed) override {
     forward_jitter_sigma_ = sigma;
     jitter_rng_ = sim::Rng(seed);
   }
@@ -139,153 +86,69 @@ class NetworkStack {
   /// flowcache_hit charge instead.  Off by default — the calibrated
   /// slow-path figures (fig 2/4/10) are measured with the cache disabled.
   /// Disabling flushes the cache.
-  void set_flowcache(bool on) {
+  void set_flowcache(bool on) override {
     flowcache_enabled_ = on;
     if (!on) fcache_.invalidate_all();
   }
-  [[nodiscard]] bool flowcache_enabled() const { return flowcache_enabled_; }
-  [[nodiscard]] flowcache::FlowCache& flow_cache() { return fcache_; }
-  [[nodiscard]] const flowcache::FlowCache& flow_cache() const {
+  [[nodiscard]] bool has_flowcache() const override { return true; }
+  [[nodiscard]] bool flowcache_enabled() const override {
+    return flowcache_enabled_;
+  }
+  [[nodiscard]] flowcache::FlowCache& flow_cache() override {
+    return fcache_;
+  }
+  [[nodiscard]] const flowcache::FlowCache& flow_cache() const override {
     return fcache_;
   }
 
   /// Conntrack garbage collection: reaps idle connections and drops the
   /// cached fast paths they backed (a cached entry must never outlive its
   /// conntrack backing).  Returns the number of reaped connections.
-  std::size_t conntrack_gc(sim::Duration idle_timeout);
+  std::size_t conntrack_gc(sim::Duration idle_timeout) override;
 
   /// NIC hot-unplug (QMP device_del): detaches the backend so the ifindex
   /// goes dead — queued/parked packets drop — and flushes exactly the
   /// cached flows entering or leaving it.
-  void detach_interface(int ifindex);
+  void detach_interface(int ifindex) override;
 
   /// GRO: in-order TCP segments of one flow arriving in a burst coalesce
   /// at the receiving netdev *before* protocol processing, so a 12-chunk
   /// MTU burst costs one hook traversal instead of twelve.  On by default;
   /// disabled automatically on stacks with forced resegmentation (the
   /// br_netfilter path re-linearizes anyway).
-  void set_gro(bool on) { gro_enabled_ = on; }
+  void set_gro(bool on) override { gro_enabled_ = on; }
 
-  [[nodiscard]] int ifindex_of(const std::string& name) const;
-  [[nodiscard]] Ipv4Address iface_ip(int ifindex) const;
-  [[nodiscard]] MacAddress iface_mac(int ifindex) const;
-  void set_iface_gso(int ifindex, std::uint32_t gso_bytes);
+  [[nodiscard]] int ifindex_of(const std::string& name) const override;
+  [[nodiscard]] Ipv4Address iface_ip(int ifindex) const override;
+  [[nodiscard]] MacAddress iface_mac(int ifindex) const override;
+  void set_iface_gso(int ifindex, std::uint32_t gso_bytes) override;
+  void seed_neighbor(int ifindex, Ipv4Address ip, MacAddress mac) override;
+  [[nodiscard]] std::size_t interface_count() const override {
+    return ifaces_.size();
+  }
 
-  /// Pre-seeds an ARP entry (tests & deterministic startup).
-  void seed_neighbor(int ifindex, Ipv4Address ip, MacAddress mac);
-
-  /// Attaches a pcap writer capturing every frame this stack receives or
-  /// transmits on any interface (like `tcpdump -i any` in the namespace).
-  /// The writer must outlive the stack or be detached with nullptr.
-  void attach_capture(class PcapWriter* writer) { capture_ = writer; }
-
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] sim::Engine& engine() { return *engine_; }
-  [[nodiscard]] const sim::CostModel& costs() const { return *costs_; }
-  [[nodiscard]] sim::SerialResource* softirq() { return softirq_; }
-
-  /// Runs `work` on `res` then `then`, like SerialResource::submit_as, but
-  /// in burst mode (batch_size > 1) items for the same resource share drain
-  /// events through a per-resource BatchSink — this is how app-side syscall
-  /// pairs (send + its on-sent continuation) stop costing two events each.
-  /// `res == nullptr` degrades to a pure delay, as the call sites did.
-  void resource_run(sim::SerialResource* res, sim::CpuCategory category,
-                    sim::Duration work, sim::InlineTask&& then);
-
-  // ---- UDP ----------------------------------------------------------------
-  struct UdpDelivery {
-    std::uint32_t bytes = 0;
-    Ipv4Address src_ip;
-    std::uint16_t src_port = 0;
-    sim::TimePoint sent_at = 0;  ///< sender's socket-exit timestamp
-    /// Encapsulated inner frame (VXLAN); shared so the delivery is copyable.
-    std::shared_ptr<EthernetFrame> inner;
-  };
-  /// Handlers get a mutable delivery so a sole kernel consumer (the VXLAN
-  /// VTEP) can steal the inner frame instead of deep-copying it; handlers
-  /// that only read may take `const UdpDelivery&` as before.
-  using UdpHandler = std::function<void(UdpDelivery&)>;
-
-  /// Binds `port`; deliveries charge `app` (syscall+copy) before `handler`
-  /// runs.  `app` may be null (no charge, immediate dispatch after wakeup).
-  void udp_bind(std::uint16_t port, sim::SerialResource* app,
-                UdpHandler handler);
-  /// Kernel-consumer bind (VXLAN VTEP): the handler runs in softirq with no
-  /// wakeup latency and no syscall charge.
-  void udp_bind_kernel(std::uint16_t port, UdpHandler handler);
-  void udp_unbind(std::uint16_t port);
-
-  /// Sends one datagram.  Charges `app` for the syscall, then hands the
-  /// packet to the stack.  `on_sent` (optional) fires when the packet has
-  /// left the socket (used by closed-loop load generators).
-  void udp_send(Ipv4Address src_ip, std::uint16_t src_port,
-                Ipv4Address dst_ip, std::uint16_t dst_port,
-                std::uint32_t bytes, sim::SerialResource* app,
-                sim::InlineTask&& on_sent = {});
-
-  // ---- ICMP ---------------------------------------------------------------
-  /// Sends an echo request; `done` fires with the round-trip time when the
-  /// reply arrives.  Unanswered pings simply never call back.
   void ping(Ipv4Address dst, std::uint32_t payload_bytes,
-            std::function<void(sim::Duration rtt)> done);
+            std::function<void(sim::Duration rtt)> done) override;
 
-  /// ICMP errors addressed to this stack (destination unreachable, time
-  /// exceeded) are passed here; the packet carries icmp_type/icmp_code and
-  /// the src_ip of the reporting hop.
-  void set_icmp_error_handler(std::function<void(const Packet&)> handler) {
+  void set_icmp_error_handler(
+      std::function<void(const Packet&)> handler) override {
     icmp_error_handler_ = std::move(handler);
   }
 
-  [[nodiscard]] std::uint64_t icmp_errors_sent() const {
+  [[nodiscard]] std::uint64_t icmp_errors_sent() const override {
     return icmp_errors_tx_;
   }
 
-  // ---- TCP ----------------------------------------------------------------
-  using AcceptHandler = std::function<void(TcpSocket)>;
-
-  /// Listens on `port`; each accepted connection's app work charges `app`.
-  void tcp_listen(std::uint16_t port, sim::SerialResource* app,
-                  AcceptHandler on_accept);
-
-  /// Opens a client connection.  The returned socket is valid for the
-  /// stack's lifetime.
-  TcpSocket tcp_connect(Ipv4Address src_ip, Ipv4Address dst_ip,
-                        std::uint16_t dst_port, sim::SerialResource* app);
-
-  // ---- datapath (called by backends / internals) -------------------------
-  void rx(int ifindex, EthernetFrame frame);
-
-  /// Burst delivery from a batched backend (one virtio NAPI poll cycle):
-  /// the frames traverse the same RX pipeline as rx(), but their per-frame
-  /// softirq charges (MAC filter, GRO merges) coalesce into shared softirq
-  /// items, so a k-frame train costs O(1) events instead of O(k).
-  void rx_train(int ifindex, std::vector<EthernetFrame> frames);
+  // ---- datapath ---------------------------------------------------------
+  void rx(int ifindex, EthernetFrame frame) override;
+  void rx_train(int ifindex, std::vector<EthernetFrame> frames) override;
 
   /// L4 -> network: runs OUTPUT/POSTROUTING, routes and transmits.
-  /// All processing is charged to softirq.
-  void emit_packet(Packet p);
+  void emit_packet(Packet p) override;
 
-  /// Charges `l4_work` to softirq, then emits `p` (used by TCP/UDP).
-  void l4_emit(sim::Duration l4_work, Packet p);
-
-  /// Effective TCP segment size towards `dst`: loopback GSO for local
-  /// destinations, else the egress interface's GSO size.
-  [[nodiscard]] std::uint32_t egress_gso(Ipv4Address dst) const;
-
-  // ---- statistics ---------------------------------------------------------
-  [[nodiscard]] std::uint64_t packets_forwarded() const { return forwarded_; }
-  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
-  [[nodiscard]] std::uint64_t arp_requests_sent() const { return arp_tx_; }
-  [[nodiscard]] std::uint64_t reassembly_failures() const {
-    return reassembly_failures_;
-  }
-
-  std::uint64_t next_packet_id() { return next_packet_id_++; }
+  [[nodiscard]] std::uint32_t egress_gso(Ipv4Address dst) const override;
 
  private:
-  friend class TcpConnection;
-
   struct Interface {
     InterfaceConfig cfg;
     InterfaceBackend* backend = nullptr;  ///< null for loopback
@@ -293,31 +156,6 @@ class NetworkStack {
     /// Packets parked awaiting ARP resolution, keyed by next-hop.
     std::unordered_map<Ipv4Address, std::vector<Packet>> arp_pending;
   };
-
-  struct UdpBinding {
-    sim::SerialResource* app = nullptr;
-    UdpHandler handler;
-    bool kernel = false;
-  };
-
-  struct TcpKey {
-    Ipv4Address local_ip;
-    std::uint16_t local_port;
-    Ipv4Address remote_ip;
-    std::uint16_t remote_port;
-    friend bool operator<(const TcpKey& a, const TcpKey& b) {
-      return std::tie(a.local_ip, a.local_port, a.remote_ip, a.remote_port) <
-             std::tie(b.local_ip, b.local_port, b.remote_ip, b.remote_port);
-    }
-  };
-
-  struct TcpListener {
-    sim::SerialResource* app = nullptr;
-    AcceptHandler on_accept;
-  };
-
-  /// Runs `work` on softirq (kSoft) then `then`.
-  void softirq_run(sim::Duration work, sim::InlineTask&& then);
 
   [[nodiscard]] bool is_local_address(Ipv4Address a) const;
 
@@ -331,7 +169,6 @@ class NetworkStack {
   void ip_rx(int ifindex, Packet p);
   void ip_rx_one(int ifindex, Packet p);
   void deliver_local(Packet p, int ifindex);
-  void forward(Packet p, int in_ifindex);
   /// Post-routing egress: POSTROUTING hook, ARP resolve, hand to backend.
   /// `record` carries the ingress-time flow key of a cacheable forwarded
   /// packet through the async chain so the resolved path can be memoized.
@@ -349,31 +186,14 @@ class NetworkStack {
   void send_arp_request(int ifindex, Ipv4Address target);
   void loopback_deliver(Packet p);
 
-  void deliver_udp(Packet p);
-  void deliver_tcp(Packet p);
   void deliver_icmp(const Packet& p);
   /// Emits an ICMP error (type/code) about `offender` back to its source.
   void send_icmp_error(const Packet& offender, std::uint8_t type,
                        std::uint8_t code);
+  /// Unbound UDP port: answer with ICMP port-unreachable.
+  void udp_unbound(const Packet& p) override;
 
-  TcpConnection& create_connection(const TcpKey& key,
-                                   sim::SerialResource* app);
-
-  sim::Engine* engine_;
-  std::string name_;
-  const sim::CostModel* costs_;
-  sim::SerialResource* softirq_;
-  /// Burst mode: softirq work items (several per packet) share drain events
-  /// instead of scheduling one completion each — the ksoftirqd half of the
-  /// datapath's event coalescing.  Unused when batch_size <= 1.
-  std::unique_ptr<sim::BatchSink> softirq_sink_;
-  /// Burst mode: one BatchSink per app resource submitting through this
-  /// stack (resource_run), with a one-entry lookup cache.  Unused when
-  /// batch_size <= 1.
-  std::unordered_map<sim::SerialResource*, std::unique_ptr<sim::BatchSink>>
-      app_sinks_;
-  sim::SerialResource* last_app_res_ = nullptr;
-  sim::BatchSink* last_app_sink_ = nullptr;
+  void reassemble_rx(int ifindex, Packet p);
 
   std::vector<Interface> ifaces_;  ///< [0] is loopback
   RoutingTable routes_;
@@ -420,14 +240,6 @@ class NetworkStack {
   };
   std::unordered_map<ReassemblyKey, ReassemblyState, ReassemblyKeyHash>
       reassembly_;
-  std::uint16_t next_ip_id_ = 1;
-  std::uint64_t reassembly_failures_ = 0;
-
-  void reassemble_rx(int ifindex, Packet p);
-
-  std::map<std::uint16_t, UdpBinding> udp_binds_;
-  std::map<std::uint16_t, TcpListener> tcp_listeners_;
-  std::map<TcpKey, std::unique_ptr<TcpConnection>> tcp_conns_;
 
   struct PendingPing {
     sim::TimePoint sent_at = 0;
@@ -437,14 +249,10 @@ class NetworkStack {
   std::uint16_t next_ping_seq_ = 1;
   std::function<void(const Packet&)> icmp_error_handler_;
   std::uint64_t icmp_errors_tx_ = 0;
-  class PcapWriter* capture_ = nullptr;
-
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t arp_tx_ = 0;
-  std::uint64_t next_packet_id_ = 1;
-  std::uint16_t next_ephemeral_port_ = 40000;
 };
+
+/// Pre-seam name for the default backend; every consumer that does not care
+/// about the seam keeps compiling (and behaving) unchanged.
+using NetworkStack = FullStack;
 
 }  // namespace nestv::net

@@ -1,0 +1,341 @@
+#include "net/stack_backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/faststack.hpp"
+#include "net/stack.hpp"
+#include "net/tcp.hpp"
+#include "net/trace.hpp"
+
+namespace nestv::net {
+
+const char* to_string(StackKind kind) {
+  switch (kind) {
+    case StackKind::kFullStack: return "fullstack";
+    case StackKind::kFastPath: return "fastpath";
+    case StackKind::kServiceHosted: return "service-hosted";
+  }
+  return "?";
+}
+
+const char* to_string(StackMode mode) {
+  switch (mode) {
+    case StackMode::kFull: return "full";
+    case StackMode::kFastPath: return "fastpath";
+    case StackMode::kService: return "service";
+  }
+  return "?";
+}
+
+// ---- TcpSocket ------------------------------------------------------------
+
+void TcpSocket::send(std::uint32_t bytes, sim::InlineTask&& on_queued) {
+  conn_->app_send(bytes, std::move(on_queued));
+}
+void TcpSocket::set_on_writable(sim::InlineHandler<> cb) {
+  conn_->set_on_writable(std::move(cb));
+}
+std::uint32_t TcpSocket::buffered() const { return conn_->buffered(); }
+std::uint16_t TcpSocket::local_port() const { return conn_->local_port(); }
+std::uint16_t TcpSocket::remote_port() const { return conn_->remote_port(); }
+std::uint32_t TcpSocket::congestion_window() const {
+  return conn_->congestion_window();
+}
+double TcpSocket::srtt_ns() const { return conn_->srtt_ns(); }
+void TcpSocket::set_on_receive(sim::InlineHandler<std::uint32_t> cb) {
+  conn_->set_on_receive(std::move(cb));
+}
+void TcpSocket::set_on_connected(sim::InlineHandler<> cb) {
+  conn_->set_on_connected(std::move(cb));
+}
+void TcpSocket::set_on_closed(sim::InlineHandler<> cb) {
+  conn_->set_on_closed(std::move(cb));
+}
+void TcpSocket::close() { conn_->close(); }
+bool TcpSocket::established() const {
+  return conn_->state() == TcpConnection::State::kEstablished;
+}
+std::uint64_t TcpSocket::bytes_received() const {
+  return conn_->bytes_received();
+}
+std::uint64_t TcpSocket::bytes_sent() const { return conn_->bytes_sent(); }
+std::uint64_t TcpSocket::retransmits() const { return conn_->retransmits(); }
+
+// ---- StackBackend ---------------------------------------------------------
+
+StackBackend::StackBackend(sim::Engine& engine, std::string name,
+                           const sim::CostModel& costs,
+                           sim::SerialResource* softirq)
+    : engine_(&engine),
+      name_(std::move(name)),
+      costs_(&costs),
+      softirq_(softirq) {}
+
+StackBackend::~StackBackend() = default;
+
+// ---- optional-capability defaults ------------------------------------------
+
+namespace {
+[[noreturn]] void no_capability(const StackBackend& stack, const char* what) {
+  throw std::logic_error("stack '" + stack.name() + "' (" +
+                         to_string(stack.kind()) + ") has no " + what);
+}
+}  // namespace
+
+Netfilter& StackBackend::netfilter() { no_capability(*this, "netfilter"); }
+const Netfilter& StackBackend::netfilter() const {
+  no_capability(*this, "netfilter");
+}
+void StackBackend::set_forwarding(bool) {
+  // Silently ignoring would drop traffic a consumer expects forwarded.
+  no_capability(*this, "forwarding");
+}
+void StackBackend::set_forced_resegment(std::uint32_t) {
+  no_capability(*this, "forced resegmentation");
+}
+void StackBackend::set_forward_jitter(double, std::uint64_t) {
+  no_capability(*this, "forward jitter");
+}
+void StackBackend::set_gro(bool) {
+  // GRO is an RX optimization invisible to applications; a backend without
+  // it treats enable/disable as a no-op.
+}
+void StackBackend::set_flowcache(bool) {}
+flowcache::FlowCache& StackBackend::flow_cache() {
+  no_capability(*this, "flow cache");
+}
+const flowcache::FlowCache& StackBackend::flow_cache() const {
+  no_capability(*this, "flow cache");
+}
+std::size_t StackBackend::conntrack_gc(sim::Duration) { return 0; }
+void StackBackend::ping(Ipv4Address, std::uint32_t,
+                        std::function<void(sim::Duration)>) {
+  no_capability(*this, "ICMP echo");
+}
+void StackBackend::set_icmp_error_handler(
+    std::function<void(const Packet&)>) {}
+
+// ---- softirq / app-resource charging ---------------------------------------
+
+void StackBackend::softirq_run(sim::Duration work, sim::InlineTask&& then) {
+  if (softirq_ == nullptr) {
+    if (work == 0) {
+      then();
+    } else {
+      engine_->schedule_in(work, std::move(then));
+    }
+    return;
+  }
+  if (costs_->batch_size > 1) {
+    if (!softirq_sink_ || &softirq_sink_->resource() != softirq_) {
+      softirq_sink_ =
+          std::make_unique<sim::BatchSink>(*softirq_, costs_->napi_budget);
+    }
+    softirq_sink_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
+    return;
+  }
+  softirq_->submit_as(sim::CpuCategory::kSoft, work, std::move(then));
+}
+
+void StackBackend::resource_run(sim::SerialResource* res,
+                                sim::CpuCategory category, sim::Duration work,
+                                sim::InlineTask&& then) {
+  if (res == nullptr) {
+    if (work == 0) {
+      then();
+    } else {
+      engine_->schedule_in(work, std::move(then));
+    }
+    return;
+  }
+  if (costs_->batch_size > 1) {
+    // Submissions cluster by resource (an app's send loop), so a one-entry
+    // cache skips the hash lookup on the hot path.
+    if (res != last_app_res_) {
+      auto& sink = app_sinks_[res];
+      if (!sink) {
+        sink = std::make_unique<sim::BatchSink>(*res, costs_->napi_budget);
+      }
+      last_app_res_ = res;
+      last_app_sink_ = sink.get();
+    }
+    last_app_sink_->submit_as(category, work, std::move(then));
+    return;
+  }
+  res->submit_as(category, work, std::move(then));
+}
+
+// ---- L4 demux ---------------------------------------------------------------
+
+void StackBackend::udp_unbound(const Packet&) {}
+
+void StackBackend::deliver_udp(Packet p) {
+  const auto it = udp_binds_.find(p.dst_port);
+  if (it == udp_binds_.end()) {
+    ++dropped_;
+    udp_unbound(p);
+    return;
+  }
+  UdpBinding& bind = it->second;
+  UdpDelivery d{p.payload_bytes, p.src_ip, p.src_port, p.sent_at, nullptr};
+  if (p.inner) {
+    // Sole consumer from here on: hand the inner frame over instead of
+    // deep-copying it (the shared_ptr only exists to keep UdpDelivery
+    // copyable for the scheduled app path).
+    d.inner = std::shared_ptr<EthernetFrame>(std::move(p.inner));
+  }
+  if (bind.kernel) {
+    // In-kernel consumer (VXLAN VTEP): no wakeup, no syscall.
+    bind.handler(d);
+    return;
+  }
+  const auto& c = *costs_;
+  const auto app_cost = c.syscall_pkt + c.l4_segment +
+                        static_cast<sim::Duration>(
+                            c.copy_byte * static_cast<double>(p.payload_bytes));
+  // Wakeup latency, then the recvfrom() on the app's CPU.
+  engine_->schedule_in(c.rx_wakeup, [this, &bind, d, app_cost]() mutable {
+    if (bind.app != nullptr) {
+      resource_run(bind.app, sim::CpuCategory::kSys, app_cost,
+                   [&bind, d]() mutable { bind.handler(d); });
+    } else {
+      bind.handler(d);
+    }
+  });
+}
+
+void StackBackend::deliver_tcp(Packet p) {
+  if (nestv_trace_enabled())
+    std::fprintf(stderr, "[%s t=%llu] deliver_tcp %s seq=%u ack=%u\n", name_.c_str(),
+                 (unsigned long long)engine_->now(), p.describe().c_str(), p.tcp_seq, p.tcp_ack);
+  const TcpKey key{p.dst_ip, p.dst_port, p.src_ip, p.src_port};
+  const auto it = tcp_conns_.find(key);
+  if (it != tcp_conns_.end()) {
+    TcpConnection* conn = it->second.get();
+    softirq_run(costs_->l4_segment,
+                [conn, pkt = std::move(p)]() mutable {
+                  conn->on_segment(std::move(pkt));
+                });
+    return;
+  }
+  const auto lit = tcp_listeners_.find(p.dst_port);
+  if (lit != tcp_listeners_.end() && p.tcp_flags.syn && !p.tcp_flags.ack) {
+    TcpConnection& conn = create_connection(key, lit->second.app);
+    // Install the app's handlers (accept callback) before the handshake
+    // completes so no delivery is missed.
+    lit->second.on_accept(TcpSocket(&conn));
+    softirq_run(costs_->l4_segment,
+                [&conn, pkt = std::move(p)]() mutable {
+                  conn.open_passive(pkt);
+                });
+    return;
+  }
+  ++dropped_;
+}
+
+// ---- TX entry ---------------------------------------------------------------
+
+void StackBackend::l4_emit(sim::Duration l4_work, Packet p) {
+  softirq_run(l4_work, [this, pkt = std::move(p)]() mutable {
+    emit_packet(std::move(pkt));
+  });
+}
+
+// ---- UDP API ----------------------------------------------------------------
+
+void StackBackend::udp_bind(std::uint16_t port, sim::SerialResource* app,
+                            UdpHandler handler) {
+  udp_binds_[port] = UdpBinding{app, std::move(handler), false};
+}
+
+void StackBackend::udp_bind_kernel(std::uint16_t port, UdpHandler handler) {
+  udp_binds_[port] = UdpBinding{nullptr, std::move(handler), true};
+}
+
+void StackBackend::udp_unbind(std::uint16_t port) { udp_binds_.erase(port); }
+
+void StackBackend::udp_send(Ipv4Address src_ip, std::uint16_t src_port,
+                            Ipv4Address dst_ip, std::uint16_t dst_port,
+                            std::uint32_t bytes, sim::SerialResource* app,
+                            sim::InlineTask&& on_sent) {
+  const auto& c = *costs_;
+  const auto app_cost =
+      c.syscall_pkt +
+      static_cast<sim::Duration>(c.copy_byte * static_cast<double>(bytes));
+  auto emit = [this, src_ip, src_port, dst_ip, dst_port, bytes] {
+    Packet p;
+    p.src_ip = src_ip;
+    p.dst_ip = dst_ip;
+    p.proto = L4Proto::kUdp;
+    p.src_port = src_port;
+    p.dst_port = dst_port;
+    p.payload_bytes = bytes;
+    p.ip_id = next_ip_id_++;
+    p.packet_id = next_packet_id();
+    p.sent_at = engine_->now();
+    l4_emit(costs_->l4_segment, std::move(p));
+  };
+  // `on_sent` rides as its own zero-cost FIFO item right behind the emit:
+  // capturing an InlineTask inside the emit closure would overflow its
+  // inline buffer (a task cannot nest inside another task's storage) and
+  // put an allocation back on the per-datagram path.
+  if (app != nullptr) {
+    resource_run(app, sim::CpuCategory::kSys, app_cost, std::move(emit));
+    if (on_sent) {
+      resource_run(app, sim::CpuCategory::kSys, 0, std::move(on_sent));
+    }
+  } else {
+    emit();
+    if (on_sent) on_sent();
+  }
+}
+
+// ---- TCP API ----------------------------------------------------------------
+
+void StackBackend::tcp_listen(std::uint16_t port, sim::SerialResource* app,
+                              AcceptHandler on_accept) {
+  tcp_listeners_[port] = TcpListener{app, std::move(on_accept)};
+}
+
+TcpSocket StackBackend::tcp_connect(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                    std::uint16_t dst_port,
+                                    sim::SerialResource* app) {
+  const std::uint16_t sport = next_ephemeral_port_++;
+  const TcpKey key{src_ip, sport, dst_ip, dst_port};
+  TcpConnection& conn = create_connection(key, app);
+  conn.open_active();
+  return TcpSocket(&conn);
+}
+
+TcpConnection& StackBackend::create_connection(const TcpKey& key,
+                                               sim::SerialResource* app) {
+  auto conn = std::make_unique<TcpConnection>(
+      *this, key.local_ip, key.local_port, key.remote_ip, key.remote_port,
+      app);
+  TcpConnection& ref = *conn;
+  tcp_conns_[key] = std::move(conn);
+  return ref;
+}
+
+// ---- factory ----------------------------------------------------------------
+
+std::unique_ptr<StackBackend> make_stack(StackMode mode, sim::Engine& engine,
+                                         std::string name,
+                                         const sim::CostModel& costs,
+                                         sim::SerialResource* softirq) {
+  switch (mode) {
+    case StackMode::kFull:
+      return std::make_unique<FullStack>(engine, std::move(name), costs,
+                                         softirq);
+    case StackMode::kFastPath:
+      return std::make_unique<FastPathStack>(engine, std::move(name), costs,
+                                             softirq);
+    case StackMode::kService:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_stack: service-hosted stacks are created by their StackService");
+}
+
+}  // namespace nestv::net

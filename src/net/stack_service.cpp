@@ -1,0 +1,78 @@
+#include "net/stack_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/stack.hpp"
+
+namespace nestv::net {
+
+/// A FullStack hosted on a StackService worker.  Identical semantics; only
+/// kind() and the softirq attribution differ.  Defined here — consumers
+/// always hold it through StackBackend&.
+class ServiceHostedStack final : public FullStack {
+ public:
+  ServiceHostedStack(sim::Engine& engine, std::string name,
+                     const sim::CostModel& costs,
+                     sim::SerialResource* worker,
+                     sim::CpuAccount* attribution)
+      : FullStack(engine, std::move(name), costs, worker),
+        attribution_(attribution) {}
+
+  [[nodiscard]] StackKind kind() const override {
+    return StackKind::kServiceHosted;
+  }
+
+ protected:
+  void softirq_run(sim::Duration work, sim::InlineTask&& then) override {
+    // Record the tenant's demand before the shared worker absorbs it; the
+    // timing/ordering of the work itself is untouched.
+    attribution_->charge(sim::CpuCategory::kSoft, work);
+    FullStack::softirq_run(work, std::move(then));
+  }
+
+ private:
+  sim::CpuAccount* attribution_;
+};
+
+StackService::StackService(sim::Engine& engine, std::string name,
+                           const sim::CostModel& costs)
+    : engine_(&engine),
+      name_(std::move(name)),
+      costs_(&costs),
+      worker_(engine, name_ + ".worker") {}
+
+StackService::~StackService() = default;
+
+StackBackend& StackService::attach_guest(const std::string& guest_name) {
+  auto stack = std::make_unique<ServiceHostedStack>(
+      *engine_, guest_name, *costs_, &worker_,
+      &ledger_.account(guest_name));
+  StackBackend& ref = *stack;
+  guests_.push_back(std::move(stack));
+  return ref;
+}
+
+void StackService::detach_guest(StackBackend& stack) {
+  const auto it = std::find_if(
+      guests_.begin(), guests_.end(),
+      [&stack](const std::unique_ptr<ServiceHostedStack>& g) {
+        return g.get() == &stack;
+      });
+  if (it == guests_.end()) return;
+  // Dead-end every non-loopback interface: queued and parked packets drop,
+  // exactly like NIC hot-unplug on a self-owned stack.
+  for (std::size_t i = 1; i < stack.interface_count(); ++i) {
+    stack.detach_interface(static_cast<int>(i));
+  }
+  retired_.push_back(std::move(*it));
+  guests_.erase(it);
+}
+
+sim::Duration StackService::attributed_soft_ns(
+    const std::string& guest_name) const {
+  const sim::CpuAccount* acc = ledger_.find(guest_name);
+  return acc == nullptr ? 0 : acc->get(sim::CpuCategory::kSoft);
+}
+
+}  // namespace nestv::net

@@ -6,7 +6,7 @@
 
 namespace nestv::net {
 
-TcpConnection::TcpConnection(NetworkStack& stack, Ipv4Address local_ip,
+TcpConnection::TcpConnection(StackBackend& stack, Ipv4Address local_ip,
                              std::uint16_t local_port, Ipv4Address remote_ip,
                              std::uint16_t remote_port,
                              sim::SerialResource* app)

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/packet.hpp"
-#include "net/stack.hpp"
+#include "net/stack_backend.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_task.hpp"
 
 namespace nestv::net {
 
@@ -30,7 +30,7 @@ class TcpConnection {
 
   /// `key` is (local_ip, local_port, remote_ip, remote_port); `app` is the
   /// application resource charged for socket syscalls on this connection.
-  TcpConnection(NetworkStack& stack, Ipv4Address local_ip,
+  TcpConnection(StackBackend& stack, Ipv4Address local_ip,
                 std::uint16_t local_port, Ipv4Address remote_ip,
                 std::uint16_t remote_port, sim::SerialResource* app);
   ~TcpConnection();
@@ -53,15 +53,15 @@ class TcpConnection {
 
   void close();
 
-  void set_on_receive(std::function<void(std::uint32_t)> cb) {
+  void set_on_receive(sim::InlineHandler<std::uint32_t> cb) {
     on_receive_ = std::move(cb);
   }
-  void set_on_connected(std::function<void()> cb) {
+  void set_on_connected(sim::InlineHandler<> cb) {
     on_connected_ = std::move(cb);
   }
-  void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+  void set_on_closed(sim::InlineHandler<> cb) { on_closed_ = std::move(cb); }
   /// Fires whenever the send buffer drains below one window.
-  void set_on_writable(std::function<void()> cb) {
+  void set_on_writable(sim::InlineHandler<> cb) {
     on_writable_ = std::move(cb);
   }
 
@@ -90,7 +90,7 @@ class TcpConnection {
   void app_wakeup_flush();
   void become_established();
 
-  NetworkStack* stack_;
+  StackBackend* stack_;
   Ipv4Address local_ip_;
   std::uint16_t local_port_;
   Ipv4Address remote_ip_;
@@ -134,10 +134,10 @@ class TcpConnection {
   void maybe_start_timing_sample();
   void on_ack_advance(std::uint32_t acked, std::uint32_t gso);
 
-  std::function<void(std::uint32_t)> on_receive_;
-  std::function<void()> on_connected_;
-  std::function<void()> on_closed_;
-  std::function<void()> on_writable_;
+  sim::InlineHandler<std::uint32_t> on_receive_;
+  sim::InlineHandler<> on_connected_;
+  sim::InlineHandler<> on_closed_;
+  sim::InlineHandler<> on_writable_;
 };
 
 }  // namespace nestv::net

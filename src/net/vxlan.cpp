@@ -5,14 +5,14 @@
 namespace nestv::net {
 
 VxlanDevice::VxlanDevice(sim::Engine& engine, std::string name,
-                         const sim::CostModel& costs, NetworkStack& stack,
+                         const sim::CostModel& costs, StackBackend& stack,
                          Ipv4Address local_vtep)
     : Device(engine, std::move(name), costs),
       stack_(&stack),
       local_vtep_(local_vtep) {
   add_port();  // port 0: overlay bridge side
   stack_->udp_bind_kernel(
-      kVtepPort, [this](NetworkStack::UdpDelivery& d) {
+      kVtepPort, [this](StackBackend::UdpDelivery& d) {
         on_vtep_datagram(d);
       });
 }
@@ -69,7 +69,7 @@ void VxlanDevice::encap_to(Ipv4Address vtep, EthernetFrame inner) {
   });
 }
 
-void VxlanDevice::on_vtep_datagram(NetworkStack::UdpDelivery& d) {
+void VxlanDevice::on_vtep_datagram(StackBackend::UdpDelivery& d) {
   if (!d.inner) return;
   const auto& c = costs();
   const sim::Duration work =

@@ -9,7 +9,7 @@
 #include <unordered_map>
 
 #include "net/device.hpp"
-#include "net/stack.hpp"
+#include "net/stack_backend.hpp"
 
 namespace nestv::net {
 
@@ -21,7 +21,7 @@ class VxlanDevice : public Device {
   /// kernel); `local_vtep` its underlay IP.  The device binds the VTEP UDP
   /// port on the stack.  Port 0 attaches to the overlay bridge.
   VxlanDevice(sim::Engine& engine, std::string name,
-              const sim::CostModel& costs, NetworkStack& stack,
+              const sim::CostModel& costs, StackBackend& stack,
               Ipv4Address local_vtep);
 
   /// Static L2-to-VTEP table, as docker's overlay driver programs from its
@@ -37,9 +37,9 @@ class VxlanDevice : public Device {
 
  private:
   void encap_to(Ipv4Address vtep, EthernetFrame inner);
-  void on_vtep_datagram(NetworkStack::UdpDelivery& d);
+  void on_vtep_datagram(StackBackend::UdpDelivery& d);
 
-  NetworkStack* stack_;
+  StackBackend* stack_;
   Ipv4Address local_vtep_;
   std::unordered_map<MacAddress, Ipv4Address> l2_table_;
   std::vector<Ipv4Address> flood_;

@@ -25,8 +25,8 @@ constexpr std::uint64_t kMachineStreamBase = 0x2000ULL;  // + machine ordinal
 /// resource (the determinism argument of the sharded conductor relies on
 /// same-instant cross-shard/local ties not occurring).
 struct RrDriver {
-  net::NetworkStack* cli_stack = nullptr;
-  net::NetworkStack* srv_stack = nullptr;
+  net::StackBackend* cli_stack = nullptr;
+  net::StackBackend* srv_stack = nullptr;
   sim::SerialResource* cli_app = nullptr;
   sim::SerialResource* srv_app = nullptr;
   sim::Engine* cli_engine = nullptr;
@@ -49,12 +49,12 @@ struct RrDriver {
 void start_rr(const std::shared_ptr<RrDriver>& d, sim::TimePoint start) {
   d->srv_stack->udp_bind(
       d->srv_port, d->srv_app,
-      [d](net::NetworkStack::UdpDelivery& del) {
+      [d](net::StackBackend::UdpDelivery& del) {
         d->srv_stack->udp_send(d->srv_local_ip, d->srv_port, del.src_ip,
                                del.src_port, d->bytes, d->srv_app);
       });
   d->cli_stack->udp_bind(
-      d->cli_port, d->cli_app, [d](net::NetworkStack::UdpDelivery&) {
+      d->cli_port, d->cli_app, [d](net::StackBackend::UdpDelivery&) {
         d->latency_ns_sum += d->cli_engine->now() - d->issued_at;
         ++d->transactions;
         if (d->cli_engine->now() >= d->stop_at) return;
@@ -68,7 +68,7 @@ void start_rr(const std::shared_ptr<RrDriver>& d, sim::TimePoint start) {
 /// shape), rebuilt as a self-driving chain because nothing in a sharded
 /// world may run an engine directly.
 struct StreamDriver {
-  net::NetworkStack* cli_stack = nullptr;
+  net::StackBackend* cli_stack = nullptr;
   sim::SerialResource* cli_app = nullptr;
   sim::Engine* cli_engine = nullptr;
   net::Ipv4Address cli_ip, srv_service_ip;
@@ -83,7 +83,7 @@ struct StreamDriver {
 };
 
 void start_stream(const std::shared_ptr<StreamDriver>& d,
-                  net::NetworkStack& srv_stack,
+                  net::StackBackend& srv_stack,
                   sim::SerialResource& srv_app, sim::TimePoint start) {
   auto delivered = d->delivered;
   srv_stack.tcp_listen(d->srv_port, &srv_app,

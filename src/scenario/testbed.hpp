@@ -32,7 +32,7 @@ struct TestbedConfig {
 /// A process endpoint a workload can drive: which stack it lives in, the
 /// address peers use to reach it, the address it binds, and its CPU.
 struct Endpoint {
-  net::NetworkStack* stack = nullptr;
+  net::StackBackend* stack = nullptr;
   net::Ipv4Address service_ip;  ///< address a peer dials (post-NAT view)
   net::Ipv4Address local_ip;    ///< address the process binds
   sim::SerialResource* app = nullptr;

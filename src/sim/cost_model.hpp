@@ -122,6 +122,18 @@ struct CostModel {
   /// that the unbatched model folds into virtio_ring_pkt.
   Duration virtio_kick = 400;
 
+  // ---- fast-path stack (net/faststack; IncludeOS-style fixed pipeline) --
+  /// Whole per-packet RX charge of the FastPathStack: MAC filter, compact
+  /// demux and L4 segment handling fused into one table-free pass (no hook
+  /// points, no conntrack, no GRO merge pass).  Replaces route_lookup +
+  /// l4_segment (+ any netfilter traversal) of the full stack's local
+  /// delivery.
+  Duration fastpath_rx_pkt = 220;
+  /// Whole per-packet TX charge: route decision against the compact table +
+  /// neighbour lookup fused with the emit.  Replaces route_lookup +
+  /// OUTPUT-chain traversal on the full stack.
+  Duration fastpath_tx_pkt = 160;
+
   // ---- MemPipe (section 4.3.2's shared-memory alternative) --------------
   Duration mempipe_pkt = 350;      ///< ring slot claim + event notification
   double mempipe_copy_byte = 0.05; ///< memcpy through shared pages

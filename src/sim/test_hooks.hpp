@@ -40,11 +40,20 @@ inline bool force_virtio_batching = false;
 /// flowcache-off).
 inline bool skip_flowcache_rule_invalidation = false;
 
+/// FastPathStack duplicates every Nth locally-delivered UDP datagram — a
+/// classic fast-path bug class (retry/queue logic delivering a payload
+/// twice) that keeps the run quiescing (closed-loop RR waves still
+/// complete; transaction counts inflate).  Caught by the backend oracle:
+/// the FastPath shape's semantic digest diverges from the FullStack
+/// baseline while its own rerun stays bit-identical.
+inline bool faststack_dup_udp_delivery = false;
+
 /// Restores every hook to its production value.
 inline void reset() {
   unkeyed_wire_delivery = false;
   force_virtio_batching = false;
   skip_flowcache_rule_invalidation = false;
+  faststack_dup_udp_delivery = false;
 }
 
 }  // namespace nestv::sim::test_hooks

@@ -1,5 +1,7 @@
 #include "vmm/vm.hpp"
 
+#include <stdexcept>
+
 namespace nestv::vmm {
 
 Vm::Vm(PhysicalMachine& host, Config config)
@@ -15,9 +17,33 @@ Vm::Vm(PhysicalMachine& host, Config config)
   softirq_ = softirq.get();
   resources_.push_back(std::move(softirq));
 
-  stack_ = std::make_unique<net::NetworkStack>(
-      host_->engine(), "vm/" + config_.name, host_->costs(), softirq_);
-  stack_->netfilter().install_standing_rules(config_.standing_rules);
+  if (config_.stack_mode == net::StackMode::kService) {
+    // NetKernel mode: no guest-side stack at all — protocol work runs on
+    // the service's shared host worker, not this VM's softirq vCPU.
+    if (config_.stack_service == nullptr) {
+      throw std::invalid_argument("Vm '" + config_.name +
+                                  "': kService needs a stack_service");
+    }
+    stack_ = &config_.stack_service->attach_guest("vm/" + config_.name);
+  } else {
+    owned_stack_ =
+        net::make_stack(config_.stack_mode, host_->engine(),
+                        "vm/" + config_.name, host_->costs(), softirq_);
+    stack_ = owned_stack_.get();
+  }
+  // Docker/K8s guest chains only exist on stacks that run netfilter.
+  if (stack_->has_netfilter()) {
+    stack_->netfilter().install_standing_rules(config_.standing_rules);
+  }
+}
+
+Vm::~Vm() {
+  // A service-hosted stack belongs to the service; give it back so the
+  // worker stops accepting this tenant's interfaces (retired, not
+  // destroyed — in-flight items may still reference it).
+  if (owned_stack_ == nullptr && config_.stack_service != nullptr) {
+    config_.stack_service->detach_guest(*stack_);
+  }
 }
 
 sim::SerialResource& Vm::make_app_core(const std::string& app_name) {

@@ -268,7 +268,7 @@ using net::flowcache::FlowKey;
 /// container behind the guest docker0 + DNAT, guest stack cache on.
 struct NatFlowCacheScenario : ::testing::Test {
   SingleServer s;
-  net::NetworkStack* guest = nullptr;
+  net::StackBackend* guest = nullptr;
   int guest_if = -1;
 
   void SetUp() override {
