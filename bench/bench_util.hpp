@@ -58,16 +58,43 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return a;
 }
 
+/// Oversubscription guard: sweeping J points in parallel while each point
+/// itself runs T worker threads (a sharded conductor) puts J*T runnable
+/// threads on the host.  Past the hardware thread count that adds only
+/// scheduler churn and distorts every wall-clock reading, so sweeps clamp
+/// `--jobs` to hardware_concurrency / T and the JSON execution section
+/// reports the clamped value — what actually ran, not what was asked for.
+/// Results are unaffected either way (each point is deterministic).
+inline int effective_jobs(int jobs, int per_point_threads = 1) {
+  if (jobs < 1) jobs = 1;
+  if (per_point_threads < 1) per_point_threads = 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return jobs;  // unknown topology: trust the caller
+  const int budget = static_cast<int>(hw) / per_point_threads;
+  return budget < 1 ? 1 : (jobs < budget ? jobs : budget);
+}
+
 /// Maps `fn` over `inputs` on up to `jobs` worker threads and returns the
 /// results in input order.  Each call of `fn` must be self-contained (every
 /// measurement point builds its own Testbed/Engine, and all hot-path
 /// counters — InlineTask fallbacks, PacketPool — are thread-local), so a
-/// parallel sweep produces bit-for-bit the sequential output.
+/// parallel sweep produces bit-for-bit the sequential output.  Points that
+/// spin up their own workers pass that count as `per_point_threads` so the
+/// oversubscription clamp sees the true thread demand.
 template <typename In, typename Fn>
-auto parallel_sweep(const std::vector<In>& inputs, int jobs, Fn fn)
+auto parallel_sweep(const std::vector<In>& inputs, int jobs, Fn fn,
+                    int per_point_threads = 1)
     -> std::vector<decltype(fn(inputs[0]))> {
   using Out = decltype(fn(inputs[0]));
   std::vector<Out> results(inputs.size());
+  const int asked = jobs;
+  jobs = effective_jobs(jobs, per_point_threads);
+  if (jobs < asked) {
+    std::printf(
+        "note: --jobs %d clamped to %d (%u hardware threads / %d "
+        "threads per point)\n",
+        asked, jobs, std::thread::hardware_concurrency(), per_point_threads);
+  }
   if (jobs <= 1 || inputs.size() <= 1) {
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       results[i] = fn(inputs[i]);
@@ -182,12 +209,15 @@ inline void add_datapath_stats(JsonReport& report, const DatapathStats& s) {
 }
 
 /// Records the execution shape of a single-engine bench: one shard, the
-/// sweep's worker threads, and the summed engine events of the measured
-/// points as that shard's event count.  Sharded benches call
-/// JsonReport::set_execution_info directly with the conductor's numbers.
+/// sweep's *effective* worker threads (after the oversubscription clamp —
+/// the execution section must describe what ran), and the summed engine
+/// events of the measured points as that shard's event count.  Sharded
+/// benches call JsonReport::set_execution_info directly with the
+/// conductor's numbers.
 inline void record_execution(JsonReport& report, const BenchArgs& args,
                              const DatapathStats& total) {
-  report.set_execution_info(1, static_cast<unsigned>(args.jobs),
+  report.set_execution_info(1,
+                            static_cast<unsigned>(effective_jobs(args.jobs)),
                             {total.events});
 }
 

@@ -9,6 +9,10 @@ namespace {
 
 /// Sub-stream id for plan generation (Rng::of_stream).
 constexpr std::uint64_t kPlanStream = 0x66757a7aULL;  // "fuzz"
+/// Separate sub-stream for the two-tier-topology draw: consuming it does
+/// not advance kPlanStream, so plans that stay flat — including every
+/// existing corpus seed — are bit-identical to what this stream predates.
+constexpr std::uint64_t kTopoStream = 0x746f706fULL;  // "topo"
 
 }  // namespace
 
@@ -41,6 +45,16 @@ FuzzPlan generate_plan(std::uint64_t seed) {
   // ---- topology --------------------------------------------------------
   plan.machines = rng.chance(0.2) ? 4 : int(rng.uniform_int(2, 3));
   plan.waves = int(rng.uniform_int(1, 3));
+  if (plan.machines == 4) {
+    // Largest topologies sometimes run on a two-tier fabric: two racks of
+    // two under two spines, so cross-rack flows exercise the ECMP
+    // tie-break and proxy ARP under every oracle.
+    sim::Rng topo = sim::Rng::of_stream(seed, kTopoStream);
+    if (topo.chance(0.5)) {
+      plan.machines_per_rack = 2;
+      plan.spines = 2;
+    }
+  }
 
   plan.costs = sim::CostModel{};
   {
@@ -211,7 +225,11 @@ FuzzPlan generate_plan(std::uint64_t seed) {
 
 std::string FuzzPlan::describe() const {
   std::ostringstream os;
-  os << "seed=" << seed << " machines=" << machines << " waves=" << waves
+  os << "seed=" << seed << " machines=" << machines;
+  if (machines_per_rack > 0) {
+    os << " racks-of=" << machines_per_rack << " spines=" << spines;
+  }
+  os << " waves=" << waves
      << " fc_cap=" << costs.flowcache_capacity
      << " standing=" << costs.nf_standing_rules
      << " alt_shards=" << alt_shards << " alt_workers=" << alt_workers

@@ -81,6 +81,13 @@ struct ActionPlan {
 struct FuzzPlan {
   std::uint64_t seed = 0;
   int machines = 2;
+  /// 0 = flat PhysicalSwitch (the historical topology).  > 0 = two-tier
+  /// vmm::HierarchicalFabric with racks of this size under `spines`
+  /// spines, putting the deterministic ECMP tie-break under all four
+  /// oracles.  Drawn from a dedicated sub-stream so every flat-topology
+  /// draw (and thus every existing corpus seed's plan) is unchanged.
+  int machines_per_rack = 0;
+  int spines = 0;
   int waves = 1;
   std::vector<FlowPlan> flows;
   std::vector<ActionPlan> actions;

@@ -1,0 +1,340 @@
+#include "net/conn_table.hpp"
+
+namespace nestv::net {
+namespace {
+
+// Hash tables below are open-addressed with linear probing over a
+// *non-power-of-two* array: rebuilt to a 70% load factor, grown when
+// live + tombstones pass 85%.  Power-of-two sizing looked cheaper (mask
+// instead of modulo) but lands the array anywhere between 2x and 4x the
+// element count; at macro scale the per-stack tables hold tens to
+// hundreds of entries and that rounding was a double-digit share of all
+// conntrack bytes.  The modulo is off the per-packet fast path (find()
+// probes hash *once* per lookup).
+
+[[nodiscard]] std::size_t sized_for(std::size_t live) {
+  const std::size_t n = live * 10 / 7 + 1;
+  return n < 32 ? 32 : n;
+}
+
+[[nodiscard]] bool wants_grow(std::size_t live, std::size_t dead,
+                              std::size_t size) {
+  return (live + dead + 1) * 20 >= size * 17;
+}
+
+}  // namespace
+
+std::size_t ConnKeyHash::operator()(const ConnKey& k) const noexcept {
+  std::uint64_t h = k.src_ip.value();
+  h = h * 0x9e3779b97f4a7c15ULL + k.dst_ip.value();
+  h = h * 0x9e3779b97f4a7c15ULL +
+      ((std::uint64_t{k.src_port} << 24) | (std::uint64_t{k.dst_port} << 8) |
+       static_cast<std::uint64_t>(k.proto));
+  return static_cast<std::size_t>(h ^ (h >> 29));
+}
+
+std::uint32_t ConnTable::slot_of(std::uint64_t id) const {
+  const std::uint32_t s = static_cast<std::uint32_t>(id & 0xffffffffU) - 1;
+  if (s >= slots_used_) return kFreeEnd;
+  const Slot& sl = slot(s);
+  if (sl.next_free != kOccupied ||
+      sl.gen != static_cast<std::uint32_t>(id >> 32)) {
+    return kFreeEnd;
+  }
+  return s;
+}
+
+bool ConnTable::slot_has_tuple(std::uint32_t s, const ConnKey& key) const {
+  const Slot& sl = slot(s);
+  if (sl.next_free != kOccupied) return false;
+  return sl.entry.orig == key || (sl.entry.confirmed && sl.entry.reply == key);
+}
+
+ConnTable::Ref ConnTable::find(const ConnKey& key) {
+  if (buckets_.empty()) return {};
+  const std::size_t n = buckets_.size();
+  const std::uint64_t h = ConnKeyHash{}(key);
+  for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+    const Bucket ref = buckets_[i];
+    if (ref == kEmptyRef) return {};
+    if (ref != kTombRef && slot_has_tuple(ref - 1, key)) {
+      Slot& sl = slot(ref - 1);
+      return Ref{id_of(ref - 1, sl.gen), &sl.entry};
+    }
+  }
+}
+
+const ConnEntry* ConnTable::find(const ConnKey& key) const {
+  const Ref r = const_cast<ConnTable*>(this)->find(key);
+  return r.entry;
+}
+
+ConnTable::Ref ConnTable::find_id(std::uint64_t id) {
+  const std::uint32_t s = slot_of(id);
+  if (s == kFreeEnd) return {};
+  return Ref{id, &slot(s).entry};
+}
+
+bool ConnTable::alive(std::uint64_t id) const {
+  return slot_of(id) != kFreeEnd;
+}
+
+std::uint32_t ConnTable::alloc_slot() {
+  if (free_head_ != kFreeEnd) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slot(s).next_free;
+    return s;
+  }
+  if (slots_used_ == slots_cap_) {
+    const std::uint32_t n =
+        kFirstChunkSlots
+        << (static_cast<std::uint32_t>(chunks_.size()) / kChunksPerDoubling);
+    chunks_.push_back(std::make_unique<Slot[]>(n));
+    chunk_bases_.push_back(slots_cap_);
+    slots_cap_ += n;
+  }
+  return slots_used_++;
+}
+
+ConnTable::Ref ConnTable::create(const ConnEntry& entry) {
+  const std::uint32_t s = alloc_slot();
+  Slot& sl = slot(s);
+  sl.entry = entry;
+  sl.next_free = kOccupied;
+  ++live_;
+  index_insert(entry.orig, s);
+  port_add(entry.orig);
+  return Ref{id_of(s, sl.gen), &sl.entry};
+}
+
+void ConnTable::register_reply(std::uint64_t id, const ConnKey& reply) {
+  const std::uint32_t s = slot_of(id);
+  if (s == kFreeEnd) return;
+  // Already bound (reply == orig, or a re-confirmation): keep one binding,
+  // re-pointing it at this connection like the map's operator[] did.
+  if (!buckets_.empty()) {
+    const std::size_t n = buckets_.size();
+    const std::uint64_t h = ConnKeyHash{}(reply);
+    for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+      Bucket& b = buckets_[i];
+      if (b == kEmptyRef) break;
+      if (b != kTombRef && slot_has_tuple(b - 1, reply)) {
+        b = s + 1;
+        return;
+      }
+    }
+  }
+  index_insert(reply, s);
+  port_add(reply);
+}
+
+void ConnTable::erase(std::uint64_t id) {
+  const std::uint32_t s = slot_of(id);
+  if (s == kFreeEnd) return;
+  Slot& sl = slot(s);
+  index_erase(sl.entry.orig, s);
+  port_remove(sl.entry.orig);
+  if (sl.entry.confirmed && !(sl.entry.reply == sl.entry.orig)) {
+    index_erase(sl.entry.reply, s);
+    port_remove(sl.entry.reply);
+  }
+  sl.next_free = free_head_;
+  ++sl.gen;
+  free_head_ = s;
+  --live_;
+}
+
+ConnTable::Ref ConnTable::at_slot(std::size_t i) {
+  if (i >= slots_used_) return {};
+  Slot& sl = slot(static_cast<std::uint32_t>(i));
+  if (sl.next_free != kOccupied) return {};
+  return Ref{id_of(static_cast<std::uint32_t>(i), sl.gen), &sl.entry};
+}
+
+void ConnTable::index_insert(const ConnKey& key, std::uint32_t s) {
+  if (wants_grow(index_live_, index_dead_, buckets_.size())) {
+    index_grow();
+  }
+  const std::size_t n = buckets_.size();
+  const std::uint64_t h = ConnKeyHash{}(key);
+  for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+    Bucket& b = buckets_[i];
+    if (b == kEmptyRef || b == kTombRef) {
+      if (b == kTombRef) --index_dead_;
+      b = s + 1;
+      ++index_live_;
+      return;
+    }
+  }
+}
+
+void ConnTable::index_erase(const ConnKey& key, std::uint32_t s) {
+  if (buckets_.empty()) return;
+  const std::size_t n = buckets_.size();
+  const std::uint64_t h = ConnKeyHash{}(key);
+  for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+    Bucket& b = buckets_[i];
+    if (b == kEmptyRef) return;
+    if (b == s + 1) {
+      // Slot identity (not key equality) guards the erase: a tuple
+      // re-bound to another connection must survive its old owner's
+      // death.  When a slot's two bindings share a probe window the one
+      // hit first may be the other tuple's — harmless, because erase(id)
+      // always removes both bindings back to back, so the pair of calls
+      // tombstones the pair of buckets either way.
+      b = kTombRef;
+      --index_live_;
+      ++index_dead_;
+      return;
+    }
+  }
+}
+
+void ConnTable::index_grow() {
+  // Rebuild for the live tuples at 70% load; tombstones are dropped.
+  std::size_t tuples = 0;
+  for (std::uint32_t s = 0; s < slots_used_; ++s) {
+    const Slot& sl = slot(s);
+    if (sl.next_free != kOccupied) continue;
+    tuples += 1 + (sl.entry.confirmed && !(sl.entry.reply == sl.entry.orig));
+  }
+  const std::size_t n = sized_for(tuples);
+  buckets_.assign(n, kEmptyRef);
+  buckets_.shrink_to_fit();
+  index_live_ = 0;
+  index_dead_ = 0;
+  auto insert = [&](const ConnKey& key, std::uint32_t s) {
+    const std::uint64_t h = ConnKeyHash{}(key);
+    for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+      Bucket& b = buckets_[i];
+      if (b == kEmptyRef) {
+        b = s + 1;
+        ++index_live_;
+        return;
+      }
+    }
+  };
+  for (std::uint32_t s = 0; s < slots_used_; ++s) {
+    const Slot& sl = slot(s);
+    if (sl.next_free != kOccupied) continue;
+    insert(sl.entry.orig, s);
+    if (sl.entry.confirmed && !(sl.entry.reply == sl.entry.orig)) {
+      insert(sl.entry.reply, s);
+    }
+  }
+}
+
+bool ConnTable::port_in_use(L4Proto proto, Ipv4Address ip,
+                            std::uint16_t port) {
+  if (!ports_built_) ports_build();
+  if (port_keys_.empty()) return false;
+  const std::uint64_t key = port_key(proto, ip, port);
+  const std::size_t n = port_keys_.size();
+  std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+    const std::uint64_t k = port_keys_[i];
+    if (k == 0) return false;
+    if (k == key) return port_counts_[i] > 0;
+  }
+}
+
+void ConnTable::port_add(const ConnKey& key) {
+  if (!ports_built_) return;
+  if (wants_grow(ports_live_, ports_dead_, port_keys_.size())) {
+    port_grow();
+  }
+  const std::uint64_t pk = port_key(key.proto, key.dst_ip, key.dst_port);
+  const std::size_t n = port_keys_.size();
+  std::uint64_t h = pk * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  std::size_t tomb = ~std::size_t{0};
+  for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+    const std::uint64_t k = port_keys_[i];
+    if (k == pk) {
+      ++port_counts_[i];
+      return;
+    }
+    if (k == ~0ULL && tomb == ~std::size_t{0}) tomb = i;
+    if (k == 0) {
+      const std::size_t dst = tomb != ~std::size_t{0} ? tomb : i;
+      if (tomb != ~std::size_t{0}) --ports_dead_;
+      port_keys_[dst] = pk;
+      port_counts_[dst] = 1;
+      ++ports_live_;
+      return;
+    }
+  }
+}
+
+void ConnTable::port_remove(const ConnKey& key) {
+  if (!ports_built_ || port_keys_.empty()) return;
+  const std::uint64_t pk = port_key(key.proto, key.dst_ip, key.dst_port);
+  const std::size_t n = port_keys_.size();
+  std::uint64_t h = pk * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+    const std::uint64_t k = port_keys_[i];
+    if (k == 0) return;
+    if (k == pk) {
+      if (port_counts_[i] > 0 && --port_counts_[i] == 0) {
+        port_keys_[i] = ~0ULL;
+        --ports_live_;
+        ++ports_dead_;
+      }
+      return;
+    }
+  }
+}
+
+void ConnTable::port_grow() {
+  std::vector<std::uint64_t> old_keys = std::move(port_keys_);
+  std::vector<std::uint32_t> old_counts = std::move(port_counts_);
+  std::size_t live = 0;
+  for (const std::uint64_t k : old_keys) live += (k != 0 && k != ~0ULL);
+  const std::size_t n = sized_for(live);
+  port_keys_.assign(n, 0);
+  port_counts_.assign(n, 0);
+  port_keys_.shrink_to_fit();
+  port_counts_.shrink_to_fit();
+  ports_live_ = 0;
+  ports_dead_ = 0;
+  for (std::size_t j = 0; j < old_keys.size(); ++j) {
+    const std::uint64_t k = old_keys[j];
+    if (k == 0 || k == ~0ULL) continue;
+    std::uint64_t h = k * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    for (std::size_t i = h % n;; i = i + 1 == n ? 0 : i + 1) {
+      if (port_keys_[i] == 0) {
+        port_keys_[i] = k;
+        port_counts_[i] = old_counts[j];
+        ++ports_live_;
+        break;
+      }
+    }
+  }
+}
+
+void ConnTable::ports_build() {
+  ports_built_ = true;
+  // Mirror every currently-registered tuple.  From here on port_add /
+  // port_remove keep the index in sync, so the contents are identical to
+  // an eagerly-maintained index at every point in time.
+  for (std::uint32_t s = 0; s < slots_used_; ++s) {
+    const Slot& sl = slot(s);
+    if (sl.next_free != kOccupied) continue;
+    port_add(sl.entry.orig);
+    if (sl.entry.confirmed && !(sl.entry.reply == sl.entry.orig)) {
+      port_add(sl.entry.reply);
+    }
+  }
+}
+
+std::size_t ConnTable::state_bytes() const {
+  return slots_cap_ * sizeof(Slot) +
+         buckets_.capacity() * sizeof(Bucket) +
+         port_keys_.capacity() * sizeof(std::uint64_t) +
+         port_counts_.capacity() * sizeof(std::uint32_t);
+}
+
+}  // namespace nestv::net

@@ -17,12 +17,23 @@
 //    hot-unplug and conntrack expiry flush exactly the affected entries
 //    (invalidate_match / invalidate_mac / invalidate_ifindex /
 //    invalidate_conn), so unrelated flows keep their fast path.
+//
+// Storage is an intrusive LRU over slab-allocated slots: entries live in
+// fixed-size chunks grown on demand (never per-entry heap nodes), the LRU
+// is a doubly-linked list of slot indices threaded through the slots, and
+// the key index is a bucketed chain also threaded through the slots.  The
+// node-based std::list + std::unordered_map it replaces cost ~2.5x the
+// bytes per cached flow (bench/abl_conntrack reports both); at the macro
+// scale target (~10^5..10^6 concurrent flows across hundreds of stacks)
+// that footprint is the difference between fitting in cache and not.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <unordered_map>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/flowcache/flow_key.hpp"
@@ -32,12 +43,23 @@
 
 namespace nestv::net::flowcache {
 
-/// The memoized verdict chain for one flow direction.
+/// The memoized verdict chain for one flow direction.  40 bytes: this is
+/// the unit of the flow-cache slab, so every field earns its width —
+/// the fast-path charge is u32 nanoseconds (per-packet charges are
+/// hundreds of ns), the validity stamps are u16 (compared for equality
+/// against counters that move once per route/rule edit; aliasing needs
+/// an entry to sit resident across exactly 65536 edits, orders beyond
+/// any run), ifindexes are i16 per-stack ordinals, and no interface
+/// names are stored (rule-match targeting resolves the key's ingress
+/// ifindex and the path's egress ifindex through the owning stack,
+/// whose names are immutable for the lifetime of an entry — NIC unplug
+/// flushes by ifindex first).
 struct CachedPath {
   enum class Action : std::uint8_t { kForward, kDeliverLocal, kDrop };
 
-  Action action = Action::kForward;
-  int out_ifindex = -1;  ///< kForward only
+  /// Conntrack entry backing this flow; a cached path whose backing
+  /// expired must not serve hits (checked by the owning stack).
+  std::uint64_t ct_id = 0;
 
   /// Post-hook header view (the NAT rewrite to apply on a hit).  Equal to
   /// the key's tuple when the flow is not translated.
@@ -45,33 +67,36 @@ struct CachedPath {
   Ipv4Address new_dst_ip;
   std::uint16_t new_src_port = 0;
   std::uint16_t new_dst_port = 0;
-  bool rewrites = false;
+
+  /// Aggregated per-hop CPU charge of the fast path (replaces hook +
+  /// route + ARP costs on a hit).
+  std::uint32_t fast_cost = 0;
+
+  // Validity stamps (set by FlowCache / the owning stack at insert).
+  std::uint16_t generation = 0;   ///< cache generation at insert
+  std::uint16_t routes_gen = 0;   ///< owning stack's routing generation
 
   /// Resolved L2 next hop (kForward): the cached path skips ARP too.
   MacAddress next_hop_mac;
 
-  /// Conntrack entry backing this flow; a cached path whose backing
-  /// expired must not serve hits (checked by the owning stack).
-  std::uint64_t ct_id = 0;
+  std::int16_t out_ifindex = -1;  ///< kForward only
 
-  /// Interface names at record time, for rule-match targeting.
-  std::string in_iface;
-  std::string out_iface;
-
-  /// Aggregated per-hop CPU charge of the fast path (replaces hook +
-  /// route + ARP costs on a hit).
-  sim::Duration fast_cost = 0;
-
-  // Validity stamps (set by FlowCache / the owning stack at insert).
-  std::uint64_t generation = 0;   ///< cache generation at insert
-  std::uint64_t routes_gen = 0;   ///< owning stack's routing generation
+  Action action = Action::kForward;
+  bool rewrites = false;
 };
 
 /// LRU cache of CachedPath entries with generation-stamped and targeted
 /// invalidation.  Not thread-safe (the simulation is single-threaded).
 class FlowCache {
  public:
-  explicit FlowCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+  explicit FlowCache(std::size_t capacity = 4096) : capacity_(capacity) {
+    // Buckets start small and are rebuilt with occupancy (see
+    // maybe_grow_buckets).  A macro-scale run holds hundreds of stacks
+    // whose caches mostly sit far below capacity; sizing the bucket
+    // array for capacity up front would dominate their resident bytes
+    // (see bench/abl_macro_scale's bytes-per-flow metric).
+    buckets_.assign(32, kNil);
+  }
 
   /// Looks up `key`, refreshing LRU order.  Entries stamped with an old
   /// cache generation are erased and reported as misses.  Does not check
@@ -95,8 +120,12 @@ class FlowCache {
   std::size_t invalidate_if(
       const std::function<bool(const FlowKey&, const CachedPath&)>& pred);
   /// Rule-table edit: flushes entries whose ingress *or* post-rewrite
-  /// header view matches the changed rule's predicate.
-  std::size_t invalidate_match(const RuleMatch& match);
+  /// header view matches the changed rule's predicate.  `iface_name`
+  /// resolves an ifindex to the owning stack's interface name ("" when
+  /// out of range) — entries store ifindexes, not names.
+  std::size_t invalidate_match(
+      const RuleMatch& match,
+      const std::function<std::string(int)>& iface_name);
   /// FDB / neighbour expiry: flushes entries forwarded via `mac`.
   std::size_t invalidate_mac(MacAddress mac);
   /// NIC hot-unplug: flushes entries entering or leaving `ifindex`.
@@ -107,7 +136,7 @@ class FlowCache {
   void invalidate_all();
 
   // ---- statistics -------------------------------------------------------
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
   [[nodiscard]] const sim::HitRateCounter& hit_rate() const { return rate_; }
@@ -115,19 +144,83 @@ class FlowCache {
   [[nodiscard]] std::uint64_t misses() const { return rate_.misses(); }
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+  /// Resident bytes of the cache store (bytes-of-state-per-flow
+  /// accounting; see bench/abl_macro_scale).
+  [[nodiscard]] std::size_t state_bytes() const {
+    return slots_cap_ * sizeof(Slot) +
+           buckets_.capacity() * sizeof(std::uint32_t);
+  }
 
  private:
-  struct Entry {
-    FlowKey key;
-    CachedPath path;
-  };
-  using LruList = std::list<Entry>;
+  static constexpr std::uint32_t kNil = 0xffffffffU;
+  /// Marks a free slot (stored in lru_prev; an occupied slot's lru_prev
+  /// is a slot index or kNil, never this).
+  static constexpr std::uint32_t kFreeMark = 0xfffffffeU;
+  /// Tombstone in the open-addressed bucket index.
+  static constexpr std::uint32_t kTomb = 0xfffffffdU;
+  /// Slab chunks grow in a shallow geometric sequence — four chunks per
+  /// size doubling (8, 8, 8, 8, 16, 16, ... slots) — so near-idle caches
+  /// stay tiny and a cache sampled mid-growth carries at most ~25%
+  /// allocated-but-unused slot slack; see the matching scheme in
+  /// net/conn_table.hpp.
+  static constexpr std::uint32_t kFirstChunkSlots = 8;
+  static constexpr std::uint32_t kChunksPerDoubling = 4;
 
-  void erase(LruList::iterator it);
+  /// 64 bytes.  The LRU links double as slot lifecycle state: lru_prev
+  /// is kFreeMark while the slot is free, and a free slot's lru_next is
+  /// the free-list link — no dedicated occupancy or chain fields.
+  struct Slot {
+    CachedPath path;
+    FlowKey key;
+    std::uint32_t lru_prev = kFreeMark;  ///< kFreeMark while free
+    std::uint32_t lru_next = kNil;       ///< free-list link while free
+
+    [[nodiscard]] bool occupied() const { return lru_prev != kFreeMark; }
+  };
+
+  /// Slot s lives in the chunk whose base is the largest <= s (reverse
+  /// scan: chunks are few and hot slots sit in the last ones).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_of(
+      std::uint32_t s) const {
+    std::size_t c = chunk_bases_.size() - 1;
+    while (chunk_bases_[c] > s) --c;
+    return {c, s - chunk_bases_[c]};
+  }
+  [[nodiscard]] Slot& slot(std::uint32_t s) {
+    const auto [c, off] = chunk_of(s);
+    return chunks_[c][off];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t s) const {
+    const auto [c, off] = chunk_of(s);
+    return chunks_[c][off];
+  }
+  /// Slot holding `key`, or kNil.
+  [[nodiscard]] std::uint32_t find_slot(const FlowKey& key) const;
+
+  std::uint32_t alloc_slot();
+  void lru_unlink(std::uint32_t s);
+  void lru_push_front(std::uint32_t s);
+  void erase_slot(std::uint32_t s);
+  void bucket_insert(std::uint32_t s);
+  void bucket_erase(std::uint32_t s);
+  /// Rebuilds the open-addressed bucket index at a 70% load factor once
+  /// live entries + tombstones pass 85% (same scheme and rationale as
+  /// net/conn_table.cpp: non-power-of-two sizing, because pow2 rounding
+  /// dominated resident bytes at per-stack populations).
+  void maybe_grow_buckets();
 
   std::size_t capacity_;
-  LruList lru_;  ///< front = most recent
-  std::unordered_map<FlowKey, LruList::iterator, FlowKeyHash> entries_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> chunk_bases_;  ///< first slot of each chunk
+  std::uint32_t slots_used_ = 0;
+  std::uint32_t slots_cap_ = 0;  ///< slots allocated across chunks
+  std::uint32_t free_head_ = kNil;
+  /// Open-addressed slot index: slot ref, kNil empty, kTomb erased.
+  std::vector<std::uint32_t> buckets_;
+  std::size_t bucket_dead_ = 0;  ///< tombstones in buckets_
+  std::uint32_t lru_head_ = kNil;  ///< most recently used
+  std::uint32_t lru_tail_ = kNil;  ///< least recently used
+  std::size_t size_ = 0;
   std::uint64_t generation_ = 1;
   sim::HitRateCounter rate_;
   std::uint64_t evictions_ = 0;

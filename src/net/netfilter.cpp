@@ -28,15 +28,6 @@ bool RuleMatch::matches(const Packet& p, const std::string& in,
   return true;
 }
 
-std::size_t ConnKeyHash::operator()(const ConnKey& k) const noexcept {
-  std::uint64_t h = k.src_ip.value();
-  h = h * 0x9e3779b97f4a7c15ULL + k.dst_ip.value();
-  h = h * 0x9e3779b97f4a7c15ULL +
-      ((std::uint64_t{k.src_port} << 24) | (std::uint64_t{k.dst_port} << 8) |
-       static_cast<std::uint64_t>(k.proto));
-  return static_cast<std::size_t>(h ^ (h >> 29));
-}
-
 void Netfilter::install_standing_rules(int n) {
   // Rules that match an address range no experiment traffic uses: every
   // packet pays the scan, none is affected — the shape of Docker's and
@@ -58,39 +49,27 @@ ConnKey Netfilter::key_of(const Packet& p) {
 }
 
 const ConnEntry* Netfilter::find_conn(const ConnKey& k) const {
-  const auto it = by_tuple_.find(k);
-  if (it == by_tuple_.end()) return nullptr;
-  const auto cit = conns_.find(it->second);
-  return cit == conns_.end() ? nullptr : &cit->second;
+  return conns_.find(k);
 }
 
-ConnEntry* Netfilter::conntrack_lookup(const Packet& p) {
+ConnTable::Ref Netfilter::conntrack_lookup(const Packet& p) {
   if (p.ct_id != 0) {
-    const auto it = conns_.find(p.ct_id);
-    if (it != conns_.end()) return &it->second;
+    const ConnTable::Ref r = conns_.find_id(p.ct_id);
+    if (r) return r;
   }
-  const auto it = by_tuple_.find(key_of(p));
-  if (it == by_tuple_.end()) return nullptr;
-  const auto cit = conns_.find(it->second);
-  return cit == conns_.end() ? nullptr : &cit->second;
+  return conns_.find(key_of(p));
 }
 
 std::uint16_t Netfilter::allocate_port(L4Proto proto, Ipv4Address ip) {
-  // Linear probe from the rolling counter until a tuple-free port is found.
+  // Probe from the rolling counter until a tuple-free port is found; the
+  // occupancy index answers each candidate in O(1) (the map-based version
+  // scanned every registered tuple per candidate — quadratic in flows).
   for (int attempts = 0; attempts < 65536; ++attempts) {
     const std::uint16_t candidate = next_nat_port_;
     next_nat_port_ =
         next_nat_port_ >= 60999 ? 32768 : static_cast<std::uint16_t>(
                                               next_nat_port_ + 1);
-    bool clash = false;
-    for (const auto& [key, _] : by_tuple_) {
-      if (key.proto == proto && key.dst_ip == ip &&
-          key.dst_port == candidate) {
-        clash = true;
-        break;
-      }
-    }
-    if (!clash) return candidate;
+    if (!conns_.port_in_use(proto, ip, candidate)) return candidate;
   }
   return next_nat_port_;  // table exhausted; reuse is the kernel's fallback too
 }
@@ -125,12 +104,12 @@ Netfilter::HookResult Netfilter::run_nat(Hook h, Packet& p,
                                          const std::string& out,
                                          sim::TimePoint now) {
   HookResult r;
-  ConnEntry* conn = conntrack_lookup(p);
+  ConnTable::Ref ref = conntrack_lookup(p);
+  ConnEntry* conn = ref.entry;
 
   // ---- fresh flow at a DNAT hook: create the (unconfirmed) entry. -------
   if (conn == nullptr && (h == Hook::kPrerouting || h == Hook::kOutput)) {
     r.cost += costs_->conntrack_miss;
-    const std::uint64_t id = next_conn_id_++;
     ConnEntry entry;
     entry.orig = key_of(p);
     entry.last_seen = now;
@@ -164,9 +143,8 @@ Netfilter::HookResult Netfilter::run_nat(Hook h, Packet& p,
       }
       break;
     }
-    conns_.emplace(id, entry);
-    by_tuple_[entry.orig] = id;
-    p.ct_id = id;
+    const ConnTable::Ref created = conns_.create(entry);
+    p.ct_id = created.id;
     p.ct_reply = false;
     return r;
   }
@@ -176,22 +154,20 @@ Netfilter::HookResult Netfilter::run_nat(Hook h, Packet& p,
   // the confirmation path below.
   if (conn == nullptr) {
     r.cost += costs_->conntrack_miss;
-    const std::uint64_t id = next_conn_id_++;
     ConnEntry entry;
     entry.orig = key_of(p);
     entry.last_seen = now;
     entry.packets = 0;  // incremented below
-    conns_.emplace(id, entry);
-    by_tuple_[entry.orig] = id;
-    p.ct_id = id;
+    ref = conns_.create(entry);
+    p.ct_id = ref.id;
     p.ct_reply = false;
-    conn = &conns_.at(id);
+    conn = ref.entry;
   } else {
     r.cost += costs_->conntrack_hit;
     if (p.ct_id == 0) {
       // First hook of this traversal: fix the packet's direction.
       p.ct_reply = conn->confirmed && key_of(p) == conn->reply;
-      p.ct_id = by_tuple_.at(p.ct_reply ? conn->reply : conn->orig);
+      p.ct_id = ref.id;
     }
   }
   conn->last_seen = now;
@@ -227,8 +203,8 @@ Netfilter::HookResult Netfilter::run_nat(Hook h, Packet& p,
         }
         conn->reply =
             ConnKey{p.dst_ip, p.src_ip, p.dst_port, p.src_port, p.proto};
-        by_tuple_[conn->reply] = p.ct_id;
         conn->confirmed = true;
+        conns_.register_reply(p.ct_id, conn->reply);
       } else if (conn->snat) {
         p.src_ip = conn->snat_ip;
         p.src_port = conn->snat_port;
@@ -269,23 +245,21 @@ Netfilter::HookResult Netfilter::run_filter(Hook h, Packet& p,
 }
 
 void Netfilter::touch(std::uint64_t id, sim::TimePoint now) {
-  const auto it = conns_.find(id);
-  if (it == conns_.end()) return;
-  it->second.last_seen = now;
-  ++it->second.packets;
+  const ConnTable::Ref r = conns_.find_id(id);
+  if (!r) return;
+  r.entry->last_seen = now;
+  ++r.entry->packets;
 }
 
 std::vector<std::uint64_t> Netfilter::gc(sim::TimePoint now,
                                          sim::Duration idle_timeout) {
   std::vector<std::uint64_t> reaped;
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (now - it->second.last_seen > idle_timeout) {
-      by_tuple_.erase(it->second.orig);
-      if (it->second.confirmed) by_tuple_.erase(it->second.reply);
-      reaped.push_back(it->first);
-      it = conns_.erase(it);
-    } else {
-      ++it;
+  for (std::size_t s = 0; s < conns_.slot_count(); ++s) {
+    const ConnTable::Ref r = conns_.at_slot(s);
+    if (!r) continue;
+    if (now - r.entry->last_seen > idle_timeout) {
+      reaped.push_back(r.id);
+      conns_.erase(r.id);
     }
   }
   return reaped;

@@ -14,9 +14,9 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "net/conn_table.hpp"
 #include "net/packet.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/time.hpp"
@@ -83,37 +83,9 @@ struct Chain {
   Verdict policy = Verdict::kAccept;
 };
 
-/// 5-tuple key for connection tracking (direction-sensitive).
-struct ConnKey {
-  Ipv4Address src_ip;
-  Ipv4Address dst_ip;
-  std::uint16_t src_port = 0;
-  std::uint16_t dst_port = 0;
-  L4Proto proto = L4Proto::kUdp;
-
-  friend bool operator==(const ConnKey&, const ConnKey&) = default;
-};
-
-struct ConnKeyHash {
-  std::size_t operator()(const ConnKey& k) const noexcept;
-};
-
-/// A tracked connection with its NAT bindings.
-struct ConnEntry {
-  ConnKey orig;        ///< initiator's original tuple
-  ConnKey reply;       ///< tuple reply packets carry (post-NAT view)
-  bool snat = false;
-  bool dnat = false;
-  Ipv4Address snat_ip;
-  std::uint16_t snat_port = 0;
-  Ipv4Address dnat_ip;
-  std::uint16_t dnat_port = 0;
-  /// A connection is confirmed once its first packet completed POSTROUTING
-  /// and the reply tuple is registered (mirrors nf_conntrack_confirm).
-  bool confirmed = false;
-  sim::TimePoint last_seen = 0;
-  std::uint64_t packets = 0;
-};
+// ConnKey / ConnKeyHash / ConnEntry and the compact conntrack store live
+// in net/conn_table.hpp; this header re-exposes them for all existing
+// includers.
 
 /// The per-stack netfilter instance.
 class Netfilter {
@@ -167,7 +139,12 @@ class Netfilter {
   [[nodiscard]] const ConnEntry* find_conn(const ConnKey& k) const;
   /// True while connection `id` is tracked (fast-path liveness check).
   [[nodiscard]] bool conn_alive(std::uint64_t id) const {
-    return conns_.find(id) != conns_.end();
+    return conns_.alive(id);
+  }
+  /// Resident bytes of the conntrack store (bytes-of-state-per-flow
+  /// accounting; see bench/abl_macro_scale).
+  [[nodiscard]] std::size_t conntrack_state_bytes() const {
+    return conns_.state_bytes();
   }
 
   /// Keep-alive for the cached fast path: packets that bypass the hooks
@@ -191,8 +168,8 @@ class Netfilter {
                         const std::string& out);
 
   /// Applies any recorded translation for this packet's direction.
-  /// Returns true (and the entry) on a conntrack hit.
-  ConnEntry* conntrack_lookup(const Packet& p);
+  /// Returns the connection on a conntrack hit (null Ref on a miss).
+  ConnTable::Ref conntrack_lookup(const Packet& p);
 
   std::uint16_t allocate_port(L4Proto proto, Ipv4Address ip);
 
@@ -201,9 +178,7 @@ class Netfilter {
   const sim::CostModel* costs_;
   std::vector<Chain> nat_{static_cast<std::size_t>(Hook::kCount)};
   std::vector<Chain> filter_{static_cast<std::size_t>(Hook::kCount)};
-  std::unordered_map<ConnKey, std::uint64_t, ConnKeyHash> by_tuple_;
-  std::unordered_map<std::uint64_t, ConnEntry> conns_;
-  std::uint64_t next_conn_id_ = 1;
+  ConnTable conns_;
   std::uint16_t next_nat_port_ = 32768;
   std::uint64_t rr_counter_ = 0;  ///< round-robin cursor for service rules
   std::uint64_t traversals_ = 0;

@@ -4,13 +4,50 @@
 
 namespace nestv::net {
 
+void RoutingTable::index_add(std::size_t i) {
+  const Route& r = routes_[i];
+  const int len = r.prefix.prefix_len();
+  const std::uint64_t key = index_key(len, r.prefix.network().value());
+  const auto [it, inserted] =
+      index_.emplace(key, static_cast<std::uint32_t>(i));
+  if (!inserted) {
+    // Same (len, network) already present: the earlier route keeps the
+    // slot unless the new one has a strictly lower metric — the linear
+    // scan's "lowest metric, then insertion order" tie-break.
+    if (r.metric < routes_[it->second].metric) {
+      it->second = static_cast<std::uint32_t>(i);
+    }
+    return;
+  }
+  const auto lit = std::find_if(lens_.begin(), lens_.end(),
+                                [len](const auto& p) {
+                                  return p.first == len;
+                                });
+  if (lit != lens_.end()) {
+    ++lit->second;
+  } else {
+    lens_.emplace_back(len, 1);
+    std::sort(lens_.begin(), lens_.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+}
+
+void RoutingTable::index_rebuild() {
+  index_.clear();
+  lens_.clear();
+  for (std::size_t i = 0; i < routes_.size(); ++i) index_add(i);
+}
+
 std::size_t RoutingTable::remove(Ipv4Cidr prefix) {
   const auto it = std::remove_if(
       routes_.begin(), routes_.end(),
       [prefix](const Route& r) { return r.prefix == prefix; });
   const auto removed = static_cast<std::size_t>(routes_.end() - it);
   routes_.erase(it, routes_.end());
-  if (removed > 0) ++generation_;
+  if (removed > 0) {
+    index_rebuild();  // surviving ordinals shifted
+    ++generation_;
+  }
   return removed;
 }
 
@@ -20,12 +57,13 @@ std::optional<RouteDecision> RoutingTable::lookup(Ipv4Address dst) const {
     return slot.decision;
   }
   const Route* best = nullptr;
-  for (const Route& r : routes_) {
-    if (!r.prefix.contains(dst)) continue;
-    if (best == nullptr || r.prefix.prefix_len() > best->prefix.prefix_len() ||
-        (r.prefix.prefix_len() == best->prefix.prefix_len() &&
-         r.metric < best->metric)) {
-      best = &r;
+  for (const auto& [len, count] : lens_) {  // descending prefix length
+    const std::uint32_t mask =
+        len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+    const auto it = index_.find(index_key(len, dst.value() & mask));
+    if (it != index_.end()) {
+      best = &routes_[it->second];
+      break;
     }
   }
   std::optional<RouteDecision> decision;

@@ -1,8 +1,19 @@
 // IPv4 routing table with longest-prefix-match lookup.
+//
+// Lookup is a hashed exact-match per distinct prefix length (longest
+// first), not a linear scan: flat-fabric setups install one route per
+// remote machine (PhysicalSwitch's full mesh), so at hundreds of machines
+// a scan per packet per hop degrades quadratically.  A handful of
+// distinct prefix lengths (/32 host routes, /24 subnets, /0 default)
+// cover every table in the simulation, so lookup is effectively O(1).
+// The semantics are the linear scan's exactly: longest prefix, then
+// lowest metric, then earliest insertion.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/address.hpp"
@@ -27,6 +38,7 @@ class RoutingTable {
  public:
   void add(const Route& r) {
     routes_.push_back(r);
+    index_add(routes_.size() - 1);
     ++generation_;
   }
   void add_connected(Ipv4Cidr prefix, int ifindex) {
@@ -63,8 +75,22 @@ class RoutingTable {
   };
   static constexpr std::size_t kCacheSlots = 8;
 
+  [[nodiscard]] static std::uint64_t index_key(int prefix_len,
+                                               std::uint32_t network) {
+    return (std::uint64_t{static_cast<std::uint32_t>(prefix_len)} << 32) |
+           network;
+  }
+  /// Folds routes_[i] into the winner index (longest prefix per network;
+  /// within one (len, network): lowest metric, earliest insertion).
+  void index_add(std::size_t i);
+  void index_rebuild();
+
   std::vector<Route> routes_;
   std::uint64_t generation_ = 0;
+  /// (prefix_len, network) -> winning route ordinal in routes_.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  /// Distinct prefix lengths present, descending, with reference counts.
+  std::vector<std::pair<int, std::uint32_t>> lens_;
   mutable CacheEntry cache_[kCacheSlots];
 };
 

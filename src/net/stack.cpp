@@ -24,7 +24,11 @@ FullStack::FullStack(sim::Engine& engine, std::string name,
   // could have matched (on either their ingress or post-NAT header view).
   nf_.set_mutation_listener([this](const RuleMatch& m) {
     if (sim::test_hooks::skip_flowcache_rule_invalidation) return;
-    fcache_.invalidate_match(m);
+    fcache_.invalidate_match(m, [this](int ifindex) {
+      const auto i = static_cast<std::size_t>(ifindex);
+      return ifindex >= 0 && i < ifaces_.size() ? ifaces_[i].cfg.name
+                                                : std::string{};
+    });
   });
   // Interface 0 is always loopback.
   Interface lo;
@@ -363,7 +367,7 @@ void FullStack::ip_rx_one(int ifindex, Packet p) {
     }
     if (fkey) {
       record_flow(*fkey, p, flowcache::CachedPath::Action::kDeliverLocal,
-                  -1, MacAddress{}, "");
+                  -1, MacAddress{});
     }
     softirq_run(cost, [this, ifindex, pkt = std::move(p)]() mutable {
       deliver_local(std::move(pkt), ifindex);
@@ -601,7 +605,7 @@ void FullStack::arp_resolve_and_send(
     // Whole path resolved (hooks run, route picked, L2 next hop known):
     // memoize it so the flow's next packets skip all of the above.
     record_flow(*record, p, flowcache::CachedPath::Action::kForward,
-                out_ifindex, *mac, itf.cfg.name);
+                out_ifindex, *mac);
   }
   EthernetFrame f;
   f.src = itf.cfg.mac;
@@ -668,7 +672,7 @@ bool FullStack::flowcache_rx(int ifindex, Packet& p) {
   // Validate the authoritative state the cache cannot watch: the routing
   // table generation and the conntrack backing.  Stale entries are flushed
   // and the packet falls through to the slow path (which re-records).
-  if (path->routes_gen != routes_.generation() ||
+  if (path->routes_gen != static_cast<std::uint16_t>(routes_.generation()) ||
       (path->ct_id != 0 && !nf_.conn_alive(path->ct_id))) {
     fcache_.invalidate(key);
     return false;
@@ -739,11 +743,10 @@ bool FullStack::flowcache_rx(int ifindex, Packet& p) {
 
 void FullStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
                             flowcache::CachedPath::Action action,
-                            int out_ifindex, MacAddress next_hop_mac,
-                            const std::string& out_iface) {
+                            int out_ifindex, MacAddress next_hop_mac) {
   flowcache::CachedPath path;
   path.action = action;
-  path.out_ifindex = out_ifindex;
+  path.out_ifindex = static_cast<std::int16_t>(out_ifindex);
   path.new_src_ip = p.src_ip;
   path.new_dst_ip = p.dst_ip;
   path.new_src_port = p.src_port;
@@ -752,12 +755,10 @@ void FullStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
                   p.src_port != key.src_port || p.dst_port != key.dst_port;
   path.next_hop_mac = next_hop_mac;
   path.ct_id = p.ct_id;
-  path.in_iface =
-      ifaces_.at(static_cast<std::size_t>(key.in_ifindex)).cfg.name;
-  path.out_iface = out_iface;
-  path.fast_cost = costs_->flowcache_hit +
-                   (path.rewrites ? costs_->flowcache_rewrite : 0);
-  path.routes_gen = routes_.generation();
+  path.fast_cost = static_cast<std::uint32_t>(
+      costs_->flowcache_hit +
+      (path.rewrites ? costs_->flowcache_rewrite : 0));
+  path.routes_gen = static_cast<std::uint16_t>(routes_.generation());
   // Building the entry is not free: one-time softirq charge per flow.
   softirq_run(costs_->flowcache_insert, [] {});
   fcache_.insert(key, std::move(path));

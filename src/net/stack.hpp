@@ -182,7 +182,7 @@ class FullStack : public StackBackend {
   bool flowcache_rx(int ifindex, Packet& p);
   void record_flow(const flowcache::FlowKey& key, const Packet& p,
                    flowcache::CachedPath::Action action, int out_ifindex,
-                   MacAddress next_hop_mac, const std::string& out_iface);
+                   MacAddress next_hop_mac);
   void send_arp_request(int ifindex, Ipv4Address target);
   void loopback_deliver(Packet p);
 

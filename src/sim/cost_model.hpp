@@ -52,6 +52,20 @@ struct CostModel {
   /// cannot affect another machine sooner than one fabric hop — so it
   /// must lower-bound every cross-machine link latency.
   Duration fabric_hop_latency = 2000;
+  /// Hierarchical fabric (vmm::HierarchicalFabric): ToR-to-spine link
+  /// latency.  Together with fabric_hop_latency it lower-bounds every
+  /// cross-machine wire, so the conductor lookahead for a two-tier fabric
+  /// is min(fabric_hop_latency, spine_link_latency).
+  Duration spine_link_latency = 2000;
+  /// Per-frame cut-through forwarding work inside a fabric switch (header
+  /// parse + table lookup); pure delay, no CPU resource (the switch ASIC
+  /// is not a contended core).
+  Duration fabric_switch_pkt = 350;
+  /// Per-byte serialization onto a fabric link (100GbE: 0.08 ns/byte).
+  /// Modeled as a per-egress-port busy horizon, so bursts into one link
+  /// queue behind each other — the only capacity constraint the
+  /// hierarchical fabric imposes beyond latency.
+  double fabric_link_byte = 0.08;
 
   // ---- netfilter / NAT --------------------------------------------------
   Duration nf_hook_base = 120;     ///< traversing one hook point

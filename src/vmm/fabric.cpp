@@ -1,0 +1,109 @@
+#include "vmm/fabric.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace nestv::vmm {
+
+HierarchicalFabric::HierarchicalFabric(sim::Engine& engine,
+                                       const sim::CostModel& costs,
+                                       FabricConfig config,
+                                       sim::ShardedConductor* conductor)
+    : engine_(&engine),
+      costs_(&costs),
+      conductor_(conductor),
+      config_(config) {
+  if (config_.machines_per_rack < 1 || config_.spines < 1) {
+    throw std::invalid_argument(
+        "HierarchicalFabric: need machines_per_rack >= 1 and spines >= 1");
+  }
+  for (int s = 0; s < config_.spines; ++s) {
+    // Spine salt offset keeps the (unused today) spine hash domain
+    // disjoint from ToR salts should spines ever gain uplink groups.
+    spines_.push_back(std::make_unique<net::FabricSwitch>(
+        engine, "fabric/spine" + std::to_string(s), costs, directory_,
+        /*ecmp_salt=*/0x5350u + static_cast<std::uint32_t>(s)));
+  }
+}
+
+void HierarchicalFabric::make_tor(int r, sim::Engine& engine) {
+  auto tor = std::make_unique<net::FabricSwitch>(
+      engine, "fabric/tor" + std::to_string(r), *costs_, directory_,
+      /*ecmp_salt=*/static_cast<std::uint32_t>(r));
+  std::vector<int> ports;
+  for (auto& spine : spines_) {
+    const int tp = tor->add_port();
+    const int sp = spine->add_port();
+    net::Device::connect_wire(conductor_, *tor, tp, *spine, sp,
+                              costs_->spine_link_latency);
+    tor->add_uplink(tp);
+    ports.push_back(sp);
+  }
+  tors_.push_back(std::move(tor));
+  spine_port_.push_back(std::move(ports));
+}
+
+void HierarchicalFabric::attach(PhysicalMachine& machine) {
+  for (const Member& m : members_) {
+    if (m.machine->config().bridge_subnet.network() ==
+        machine.config().bridge_subnet.network()) {
+      throw std::invalid_argument(
+          "HierarchicalFabric::attach: machine '" + machine.config().name +
+          "' reuses the VM subnet of '" + m.machine->config().name +
+          "'; machines on one fabric need distinct VM subnets");
+    }
+  }
+  if (conductor_ == nullptr && &machine.engine() != engine_) {
+    throw std::invalid_argument(
+        "HierarchicalFabric::attach: machine '" + machine.config().name +
+        "' lives on a different engine; wiring across engines needs a "
+        "ShardedConductor");
+  }
+
+  const int rack = rack_of(members_.size());
+  if (static_cast<std::size_t>(rack) == tors_.size()) {
+    // The ToR joins the shard of its rack's first machine: intra-rack
+    // forwarding stays shard-local; only uplinks cross shards.
+    make_tor(rack, machine.engine());
+  }
+  net::FabricSwitch& tor = *tors_[static_cast<std::size_t>(rack)];
+
+  Member member;
+  member.machine = &machine;
+  member.ext_ip = config_.subnet.host(next_ip_++);
+  member.port = std::make_unique<net::PortBackend>(
+      machine.engine(), machine.config().name + "/ext0-port", *costs_);
+  const int tor_port = tor.add_port();
+  net::Device::connect_wire(conductor_, *member.port, 0, tor, tor_port,
+                            costs_->fabric_hop_latency);
+
+  net::InterfaceConfig cfg;
+  cfg.name = "ext0";
+  cfg.mac = machine.allocate_mac();
+  cfg.ip = member.ext_ip;
+  cfg.subnet = config_.subnet;
+  cfg.gso_bytes = costs_->gso_virtio;  // physical NICs have TSO
+  const int ext_if = machine.stack().add_interface(*member.port, cfg);
+
+  // Static forwarding state: the machine's MAC at its ToR (downlink) and
+  // at every spine (toward this rack), plus the proxy-ARP directory entry.
+  tor.bind_mac(cfg.mac, tor_port);
+  for (std::size_t s = 0; s < spines_.size(); ++s) {
+    spines_[s]->bind_mac(cfg.mac,
+                         spine_port_[static_cast<std::size_t>(rack)][s]);
+  }
+  directory_.mac_of_ip[member.ext_ip.value()] = cfg.mac;
+
+  // Full-mesh routes: everyone reaches everyone's VM subnet through the
+  // owner's external address (lookup is hashed, so table size is free).
+  for (Member& other : members_) {
+    const int other_ext = other.machine->stack().ifindex_of("ext0");
+    machine.stack().routes().add(net::Route{
+        other.machine->config().bridge_subnet, ext_if, other.ext_ip, 0});
+    other.machine->stack().routes().add(net::Route{
+        machine.config().bridge_subnet, other_ext, member.ext_ip, 0});
+  }
+  members_.push_back(std::move(member));
+}
+
+}  // namespace nestv::vmm

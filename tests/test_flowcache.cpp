@@ -125,7 +125,7 @@ TEST(FlowCache, InvalidateMatchChecksIngressAndRewrittenViews) {
   RuleMatch m;
   m.dst = Ipv4Cidr(Ipv4Address(172, 17, 0, 2), 32);
   m.dport = 8080;
-  EXPECT_EQ(cache.invalidate_match(m), 1u);
+  EXPECT_EQ(cache.invalidate_match(m, [](int) { return std::string{}; }), 1u);
   EXPECT_EQ(cache.size(), 0u);
 }
 
@@ -289,8 +289,12 @@ struct NatFlowCacheScenario : ::testing::Test {
 
   [[nodiscard]] FlowKey inbound_key(std::uint16_t sport,
                                     std::uint16_t dport = 5001) const {
-    return FlowKey{s.client.local_ip, s.server.service_ip, sport,
-                   dport,            net::L4Proto::kUdp,   guest_if};
+    return FlowKey{s.client.local_ip,
+                   s.server.service_ip,
+                   sport,
+                   dport,
+                   net::L4Proto::kUdp,
+                   static_cast<std::int16_t>(guest_if)};
   }
 };
 

@@ -1,0 +1,304 @@
+// Macro-scale layers: the compact per-flow state stores (ConnTable, the
+// slab FlowCache), the hierarchical fabric's deterministic ECMP, and the
+// churn scenario's execution-mode equivalence (shards / worker counts).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/conn_table.hpp"
+#include "net/fabric_switch.hpp"
+#include "net/flowcache/flowcache.hpp"
+#include "net/packet_pool.hpp"
+#include "scenario/macro_scale.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace nestv;
+
+net::ConnKey key_of(std::uint32_t a, std::uint32_t b, std::uint16_t sp,
+                    std::uint16_t dp) {
+  net::ConnKey k;
+  k.src_ip = net::Ipv4Address(a);
+  k.dst_ip = net::Ipv4Address(b);
+  k.src_port = sp;
+  k.dst_port = dp;
+  k.proto = net::L4Proto::kUdp;
+  return k;
+}
+
+// ---- ConnTable ------------------------------------------------------------
+
+TEST(ConnTable, CreateFindReplyErase) {
+  net::ConnTable t;
+  net::ConnEntry e;
+  e.orig = key_of(1, 2, 100, 200);
+  e.reply = key_of(2, 9, 200, 333);
+  const auto ref = t.create(e);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.alive(ref.id));
+
+  // Before reply registration only the orig tuple resolves.
+  EXPECT_TRUE(t.find(e.orig));
+  EXPECT_FALSE(t.find(e.reply));
+
+  ref.entry->confirmed = true;
+  t.register_reply(ref.id, e.reply);
+  const auto by_reply = t.find(e.reply);
+  ASSERT_TRUE(by_reply);
+  EXPECT_EQ(by_reply.id, ref.id);
+
+  t.erase(ref.id);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.alive(ref.id));
+  EXPECT_FALSE(t.find(e.orig));
+  EXPECT_FALSE(t.find(e.reply));
+}
+
+TEST(ConnTable, StaleIdsStayDeadAfterSlotReuse) {
+  net::ConnTable t;
+  net::ConnEntry e;
+  e.orig = key_of(1, 2, 1, 1);
+  const auto first = t.create(e);
+  t.erase(first.id);
+  // The freed slot is reused; the old id's generation must not resolve.
+  e.orig = key_of(3, 4, 2, 2);
+  const auto second = t.create(e);
+  EXPECT_NE(first.id, second.id);
+  EXPECT_FALSE(t.alive(first.id));
+  EXPECT_TRUE(t.alive(second.id));
+}
+
+TEST(ConnTable, ChurnStormKeepsIndexConsistent) {
+  // Insert/erase far past several geometric chunk growths and index
+  // rehashes; every surviving entry must stay reachable by both tuples
+  // and every erased one unreachable.
+  net::ConnTable t;
+  std::vector<std::uint64_t> ids;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    net::ConnEntry e;
+    e.orig = key_of(std::uint32_t(i + 1), 0x0a0a0a0a,
+                    std::uint16_t(i & 0xffff), 53);
+    e.reply = key_of(0x0a0a0a0a, std::uint32_t(i + 1), 53,
+                     std::uint16_t(i & 0xffff));
+    e.confirmed = true;
+    const auto ref = t.create(e);
+    t.register_reply(ref.id, e.reply);
+    ids.push_back(ref.id);
+  }
+  EXPECT_EQ(t.size(), std::size_t(n));
+  for (int i = 0; i < n; i += 2) t.erase(ids[std::size_t(i)]);
+  EXPECT_EQ(t.size(), std::size_t(n) / 2);
+  for (int i = 0; i < n; ++i) {
+    const auto k = key_of(std::uint32_t(i + 1), 0x0a0a0a0a,
+                          std::uint16_t(i & 0xffff), 53);
+    EXPECT_EQ(t.find(k) ? true : false, i % 2 == 1) << i;
+    EXPECT_EQ(t.alive(ids[std::size_t(i)]), i % 2 == 1) << i;
+  }
+  // Entry pointers are stable across all growth (slab storage).
+  const auto ref = t.find_id(ids[1]);
+  ASSERT_TRUE(ref);
+  EXPECT_EQ(ref.entry->orig.src_ip.value(), 2u);
+}
+
+TEST(ConnTable, PortOccupancyTracksRegisteredTuples) {
+  net::ConnTable t;
+  net::ConnEntry e;
+  e.orig = key_of(1, 2, 4000, 80);
+  const auto ref = t.create(e);
+  // orig registers (udp, dst_ip=2, dst_port=80).
+  EXPECT_TRUE(t.port_in_use(net::L4Proto::kUdp, net::Ipv4Address(2), 80));
+  EXPECT_FALSE(t.port_in_use(net::L4Proto::kUdp, net::Ipv4Address(2), 81));
+  EXPECT_FALSE(t.port_in_use(net::L4Proto::kTcp, net::Ipv4Address(2), 80));
+  t.erase(ref.id);
+  EXPECT_FALSE(t.port_in_use(net::L4Proto::kUdp, net::Ipv4Address(2), 80));
+}
+
+TEST(ConnTable, NearIdleFootprintIsSmall) {
+  // Hundreds of mostly-idle stacks are the macro-scale common case: a
+  // table holding three connections must cost a couple of KB, not a
+  // 256-slot chunk.
+  net::ConnTable t;
+  for (int i = 0; i < 3; ++i) {
+    net::ConnEntry e;
+    e.orig = key_of(std::uint32_t(i + 1), 99, 1000, 80);
+    (void)t.create(e);
+  }
+  EXPECT_GT(t.state_bytes(), 0u);
+  EXPECT_LT(t.state_bytes(), 8u * 1024u);
+}
+
+// ---- FlowCache ------------------------------------------------------------
+
+net::flowcache::FlowKey flow_key(std::uint32_t i) {
+  net::flowcache::FlowKey k;
+  k.src_ip = net::Ipv4Address(i + 1);
+  k.dst_ip = net::Ipv4Address(0x7f000001);
+  k.src_port = std::uint16_t(i & 0xffff);
+  k.dst_port = 443;
+  k.proto = net::L4Proto::kUdp;
+  return k;
+}
+
+TEST(FlowCacheCompact, GrowthKeepsAllEntriesReachable) {
+  // Push the cache through many slab-chunk and bucket-array growths; every
+  // resident entry must remain reachable with its payload intact.
+  net::flowcache::FlowCache fc(4096);
+  const std::uint32_t n = 3000;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    net::flowcache::CachedPath p;
+    p.out_ifindex = int(i);
+    fc.insert(flow_key(i), p);
+  }
+  EXPECT_EQ(fc.size(), std::size_t(n));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto* p = fc.peek(flow_key(i));
+    ASSERT_NE(p, nullptr) << i;
+    EXPECT_EQ(p->out_ifindex, int(i));
+  }
+}
+
+TEST(FlowCacheCompact, LruEvictionAtCapacity) {
+  net::flowcache::FlowCache fc(64);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    fc.insert(flow_key(i), net::flowcache::CachedPath{});
+  }
+  EXPECT_EQ(fc.size(), 64u);
+  EXPECT_EQ(fc.evictions(), 200u - 64u);
+  // Oldest gone, newest resident.
+  EXPECT_EQ(fc.peek(flow_key(0)), nullptr);
+  EXPECT_NE(fc.peek(flow_key(199)), nullptr);
+}
+
+TEST(FlowCacheCompact, NearIdleFootprintIsSmall) {
+  net::flowcache::FlowCache fc;  // default capacity 4096
+  fc.insert(flow_key(1), net::flowcache::CachedPath{});
+  fc.insert(flow_key(2), net::flowcache::CachedPath{});
+  EXPECT_GT(fc.state_bytes(), 0u);
+  // Buckets and slabs scale with occupancy, not capacity.
+  EXPECT_LT(fc.state_bytes(), 8u * 1024u);
+}
+
+TEST(FlowCacheCompact, InvalidateConnFlushesOnlyBackedEntries) {
+  net::flowcache::FlowCache fc(64);
+  net::flowcache::CachedPath backed;
+  backed.ct_id = 77;
+  fc.insert(flow_key(1), backed);
+  fc.insert(flow_key(2), net::flowcache::CachedPath{});
+  EXPECT_EQ(fc.invalidate_conn(77), 1u);
+  EXPECT_EQ(fc.peek(flow_key(1)), nullptr);
+  EXPECT_NE(fc.peek(flow_key(2)), nullptr);
+}
+
+// ---- FabricSwitch ECMP ----------------------------------------------------
+
+TEST(FabricSwitch, EcmpPickIsAPureFunctionOfTheFlow) {
+  sim::Engine engine;
+  sim::CostModel costs;
+  net::FabricDirectory dir;
+  net::FabricSwitch sw(engine, "tor0", costs, dir, /*ecmp_salt=*/7);
+  for (int u = 0; u < 4; ++u) sw.add_uplink(sw.add_port());
+
+  auto frame_of = [](std::uint32_t flow) {
+    net::EthernetFrame f;
+    f.packet.src_ip = net::Ipv4Address(10 + flow);
+    f.packet.dst_ip = net::Ipv4Address(0x0a0a0001);
+    f.packet.src_port = std::uint16_t(10000 + flow);
+    f.packet.dst_port = 80;
+    f.packet.proto = net::L4Proto::kUdp;
+    return f;
+  };
+
+  // Stable per flow (any call order, any repetition), spread across the
+  // group over many flows.
+  std::vector<std::size_t> first;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    first.push_back(sw.ecmp_pick(frame_of(i)));
+  }
+  for (std::uint32_t i = 64; i-- > 0;) {
+    EXPECT_EQ(sw.ecmp_pick(frame_of(i)), first[i]) << i;
+  }
+  std::vector<int> used(4, 0);
+  for (const std::size_t pick : first) {
+    ASSERT_LT(pick, 4u);
+    used[pick] = 1;
+  }
+  EXPECT_GE(used[0] + used[1] + used[2] + used[3], 3)
+      << "64 distinct flows should spread over the uplink group";
+
+  // Both directions of one flow may differ (the hash is direction
+  // sensitive, which is fine — each direction is itself stable), but the
+  // ARP and IPv4 domains must both resolve without touching state.
+  net::EthernetFrame arp;
+  arp.ethertype = 0x0806;
+  arp.arp_is_request = true;
+  arp.arp_sender_ip = net::Ipv4Address(1);
+  arp.arp_target_ip = net::Ipv4Address(2);
+  const std::size_t a = sw.ecmp_pick(arp);
+  EXPECT_EQ(sw.ecmp_pick(arp), a);
+}
+
+// ---- macro-scale scenario -------------------------------------------------
+
+scenario::MacroScaleConfig tiny_config() {
+  scenario::MacroScaleConfig cfg;
+  cfg.seed = 7;
+  cfg.machines = 4;
+  cfg.machines_per_rack = 2;
+  cfg.spines = 2;
+  cfg.trace_users = 16;
+  cfg.flows = 80;
+  cfg.tcp_streams = 1;
+  cfg.arrival_window = sim::milliseconds(40);
+  cfg.drain = sim::milliseconds(40);
+  return cfg;
+}
+
+TEST(MacroScale, ChurnRunsToCompletionWithoutLeaks) {
+  const std::int64_t pool_before = net::PacketPool::live_nodes();
+  const auto r = scenario::run_macro_scale(tiny_config());
+  EXPECT_EQ(net::PacketPool::live_nodes(), pool_before)
+      << "packet pool nodes leaked across the churn run";
+  EXPECT_EQ(r.flows_completed, 80.0);
+  EXPECT_GT(r.peak_concurrent_flows, 0u);
+  EXPECT_GT(r.conntrack_peak_entries, 0u);
+  EXPECT_GT(r.conntrack_gc_reaped, 0u)
+      << "idle GC should reap departed flows while the run is live";
+  EXPECT_GT(r.state_bytes_per_flow, 0.0);
+  EXPECT_GT(r.stream_bytes_delivered, 0.0);
+}
+
+TEST(MacroScale, ShardsAndWorkersDoNotChangeSimulatedOutputs) {
+  // The multi-path fabric keeps the conservative-parallel guarantee: the
+  // ECMP choice and the keyed wire order are functions of the flow, so
+  // every shard/worker shape must reproduce the single-engine run.
+  const auto base = scenario::run_macro_scale(tiny_config());
+  struct Shape {
+    int shards;
+    unsigned workers;
+  };
+  for (const Shape s : {Shape{2, 1}, Shape{2, 2}, Shape{4, 2}, Shape{4, 4}}) {
+    auto cfg = tiny_config();
+    cfg.shards = s.shards;
+    cfg.max_workers = s.workers;
+    const auto r = scenario::run_macro_scale(cfg);
+    const std::string at = " at shards=" + std::to_string(s.shards) +
+                           " workers=" + std::to_string(s.workers);
+    EXPECT_EQ(r.flows_completed, base.flows_completed) << at;
+    EXPECT_EQ(r.rr_transactions, base.rr_transactions) << at;
+    EXPECT_EQ(r.rr_latency_ns_sum, base.rr_latency_ns_sum) << at;
+    EXPECT_EQ(r.stream_bytes_delivered, base.stream_bytes_delivered) << at;
+    EXPECT_EQ(r.flow_digest, base.flow_digest) << at;
+    EXPECT_EQ(r.peak_concurrent_flows, base.peak_concurrent_flows) << at;
+    EXPECT_EQ(r.conntrack_peak_entries, base.conntrack_peak_entries) << at;
+    EXPECT_EQ(r.state_bytes_at_peak, base.state_bytes_at_peak) << at;
+    EXPECT_EQ(r.conntrack_gc_reaped, base.conntrack_gc_reaped) << at;
+    EXPECT_EQ(r.events_total, base.events_total) << at;
+  }
+}
+
+}  // namespace
