@@ -4,8 +4,8 @@
 // fails; --minimize additionally shrinks each failure and emits a
 // self-contained regression test into the corpus directory.
 //
-// --inject-bug {shards|batch|flowcache|faststack} flips the matching test
-// hook and
+// --inject-bug {shards|batch|flowcache|faststack|oncache} flips the
+// matching test hook and
 // INVERTS the exit semantics: the run succeeds (exit 0) only if at least
 // one seed in the range makes the oracle detect the injected divergence.
 // This is how CI proves the fuzzer can actually catch the bug classes it
@@ -36,7 +36,8 @@ struct Options {
   bool minimize = false;
   bool quiet = false;
   std::string out_dir = "tests/fuzz_corpus";
-  std::string inject;  // "", "shards", "batch", "flowcache", "faststack"
+  std::string inject;  // "", "shards", "batch", "flowcache", "faststack",
+                       // "oncache"
 };
 
 bool parse_seeds(const std::string& arg, Options& opt) {
@@ -56,7 +57,7 @@ bool parse_seeds(const std::string& arg, Options& opt) {
                "fuzz_runner: %s\n"
                "usage: fuzz_runner [--seeds A..B] [--time-budget S] "
                "[--minimize] [--out-dir DIR] [--inject-bug "
-               "shards|batch|flowcache|faststack] [--quiet]\n",
+               "shards|batch|flowcache|faststack|oncache] [--quiet]\n",
                msg);
   std::exit(2);
 }
@@ -71,6 +72,8 @@ bool apply_injection(const std::string& name) {
     hooks::skip_flowcache_rule_invalidation = true;
   } else if (name == "faststack") {
     hooks::faststack_dup_udp_delivery = true;
+  } else if (name == "oncache") {
+    hooks::skip_oncache_rule_invalidation = true;
   } else {
     return false;
   }
@@ -82,6 +85,7 @@ std::uint32_t injection_oracle_mask(const std::string& name) {
   if (name == "batch") return nestv::fuzz::kOracleBatch;
   if (name == "flowcache") return nestv::fuzz::kOracleFlowcache;
   if (name == "faststack") return nestv::fuzz::kOracleBackend;
+  if (name == "oncache") return nestv::fuzz::kOracleOncache;
   return nestv::fuzz::kOracleAll;
 }
 

@@ -149,6 +149,30 @@ CaseResult run_case(const CaseSpec& spec) {
     check_strict(rg, "G", rg2, "G-rerun", "backend", out);
   }
 
+  if (spec.oracle_mask & kOracleOncache) {
+    // Only plans whose masked flow set carries an overlay flow have a
+    // cache to enable; everywhere else the shape equals the baseline.
+    bool has_overlay = false;
+    for (std::size_t k = 0; k < plan.flows.size(); ++k) {
+      has_overlay = has_overlay ||
+                    ((spec.flow_mask >> k & 1) != 0 &&
+                     plan.flows[k].mode == FlowMode::kOverlayRr);
+    }
+    if (has_overlay) {
+      RunShape h;
+      h.oncache = true;
+      h.label = "H";
+      const WorldResult rh = run(h);
+      absorb_invariants(rh, "H(oncache)", out);
+      check_semantic(a, "A(oncache=off)", rh, "H(oncache=on)", "oncache",
+                     out);
+      // And the cached shape is itself deterministic.
+      const WorldResult rh2 = run(h);
+      absorb_invariants(rh2, "H-rerun", out);
+      check_strict(rh, "H", rh2, "H-rerun", "oncache", out);
+    }
+  }
+
   return out;
 }
 

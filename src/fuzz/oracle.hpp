@@ -20,6 +20,12 @@
 //              the full stack (the StackBackend seam must not change
 //              delivered work — only timing), and the fast-path shape
 //              re-runs STRICTLY equal to itself.
+//   oncache    the ONCache overlay fast path enabled is SEMANTICALLY
+//              equal to disabled (cached encap/decap moves timing, not
+//              application outcomes — including across rule edits, which
+//              must invalidate the cached paths), and the cached shape
+//              re-runs STRICTLY equal to itself.  Evaluated only for
+//              plans whose masked flow set contains an overlay flow.
 //
 // Every run also self-checks invariants (waves quiesce, shards end idle,
 // cached fast paths keep live conntrack backings, the packet pool returns
@@ -37,8 +43,10 @@ inline constexpr std::uint32_t kOracleShards = 1U << 0;
 inline constexpr std::uint32_t kOracleBatch = 1U << 1;
 inline constexpr std::uint32_t kOracleFlowcache = 1U << 2;
 inline constexpr std::uint32_t kOracleBackend = 1U << 3;
+inline constexpr std::uint32_t kOracleOncache = 1U << 4;
 inline constexpr std::uint32_t kOracleAll =
-    kOracleShards | kOracleBatch | kOracleFlowcache | kOracleBackend;
+    kOracleShards | kOracleBatch | kOracleFlowcache | kOracleBackend |
+    kOracleOncache;
 
 /// A reproducible fuzz case: the seed plus the participation masks the
 /// minimizer shrinks, plus which oracles to evaluate.
@@ -50,7 +58,7 @@ struct CaseSpec {
 };
 
 struct Failure {
-  /// "shards", "batch", "flowcache", "backend" or "invariant".
+  /// "shards", "batch", "flowcache", "backend", "oncache" or "invariant".
   std::string oracle;
   std::string detail;
 };

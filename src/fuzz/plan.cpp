@@ -13,6 +13,10 @@ constexpr std::uint64_t kPlanStream = 0x66757a7aULL;  // "fuzz"
 /// not advance kPlanStream, so plans that stay flat — including every
 /// existing corpus seed — are bit-identical to what this stream predates.
 constexpr std::uint64_t kTopoStream = 0x746f706fULL;  // "topo"
+/// Separate sub-stream for the appended overlay flow: plans that predate
+/// the overlay fuzz coverage — every existing corpus seed — draw nothing
+/// from it, so their generated plans are bit-identical.
+constexpr std::uint64_t kOverlayStream = 0x6f766c79ULL;  // "ovly"
 
 }  // namespace
 
@@ -21,6 +25,7 @@ const char* to_string(FlowMode m) {
     case FlowMode::kNatStream: return "nat-stream";
     case FlowMode::kBrFusionRr: return "brfusion-rr";
     case FlowMode::kHostloRr: return "hostlo-rr";
+    case FlowMode::kOverlayRr: return "overlay-rr";
   }
   return "?";
 }
@@ -219,6 +224,47 @@ FuzzPlan generate_plan(std::uint64_t seed) {
     plan.hostile_kick = kicks[rng.uniform_int(0, 3)];
     const std::uint32_t batches[] = {8, 16, 32, 64};
     plan.batch = batches[rng.uniform_int(0, 3)];
+  }
+
+  // ---- appended overlay flow (dedicated sub-stream) ---------------------
+  // Drawn entirely from kOverlayStream, after every kPlanStream draw, so
+  // all pre-overlay plans are unchanged.  The flow is intra-machine (two
+  // VMs, one VXLAN overlay between their uplinks) and its waves all carry
+  // work: wave 0 populates the oncache, later waves observe invalidation.
+  {
+    sim::Rng ov = sim::Rng::of_stream(seed, kOverlayStream);
+    if (ov.chance(0.4)) {
+      FlowPlan f;
+      f.mode = FlowMode::kOverlayRr;
+      f.srv_machine =
+          int(ov.uniform_int(0, std::uint64_t(plan.machines - 1)));
+      f.cli_machine = f.srv_machine;  // the overlay spans VMs, not machines
+      f.srv_port = std::uint16_t(5000 + plan.flows.size());
+      f.cli_port = std::uint16_t(20000 + plan.flows.size());
+      f.msg_bytes = std::uint32_t(ov.uniform_int(64, 512));
+      f.wave_work.resize(std::size_t(plan.waves));
+      for (auto& w : f.wave_work) w = std::uint32_t(ov.uniform_int(1, 8));
+      f.think_quantum = 1;
+      f.think_slots = std::uint32_t(ov.uniform_int(500, 4500));
+      const int flow_index = int(plan.flows.size());
+      plan.flows.push_back(std::move(f));
+      // Small oncache capacities put eviction pressure on the cached runs;
+      // only overlay-carrying plans redraw the knob, so every other plan
+      // keeps the default cost model.
+      const std::uint32_t caps[] = {4, 64, 4096};
+      plan.costs.oncache_capacity = caps[ov.uniform_int(0, 2)];
+      if (plan.waves >= 2 && ov.chance(0.75)) {
+        // VXLAN-datagram DROP on the server VM's INPUT chain: overlay
+        // traffic halts at the boundary, and the rule edit must flush the
+        // cached oncache ingress paths (the oncache oracle's target).
+        ActionPlan act;
+        act.kind = ActionKind::kAddDropRule;
+        act.boundary =
+            int(ov.uniform_int(0, std::uint64_t(plan.waves - 2)));
+        act.flow = flow_index;
+        plan.actions.push_back(act);
+      }
+    }
   }
   return plan;
 }

@@ -13,8 +13,11 @@
 // Soundness rules baked into generation (they keep every oracle
 // false-positive-free):
 //   * DROP rules target only UDP flows (a dropped TCP flow retransmits
-//     forever and the wave never quiesces) and only flows routed through a
-//     forwarding host stack (BrFusion), where the FORWARD chain sees them.
+//     forever and the wave never quiesces) and only flows a netfilter
+//     chain actually sees: BrFusion flows on the forwarding host's
+//     FORWARD chain, and Overlay flows as a VXLAN-datagram drop (UDP
+//     dport 4789) on the server VM's INPUT chain — the rule edit that
+//     must invalidate cached oncache ingress paths.
 //   * NIC unplug targets only flows with no traffic scheduled after the
 //     unplug boundary, so it never changes application outcomes — only the
 //     teardown/invalidation paths it exists to exercise.
@@ -34,6 +37,7 @@ enum class FlowMode : std::uint8_t {
   kNatStream,   ///< published-port container, cross-machine TCP via DNAT
   kBrFusionRr,  ///< pod NIC on the host bridge, cross-machine UDP RR
   kHostloRr,    ///< cross-VM pod on one machine, UDP RR over Hostlo
+  kOverlayRr,   ///< cross-VM VXLAN overlay on one machine, UDP RR
 };
 
 [[nodiscard]] const char* to_string(FlowMode m);

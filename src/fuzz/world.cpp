@@ -7,6 +7,7 @@
 #include "container/runtime.hpp"
 #include "core/cni.hpp"
 #include "net/packet_pool.hpp"
+#include "scenario/overlay.hpp"
 #include "scenario/testbed.hpp"
 #include "sim/rng.hpp"
 #include "sim/sharded_conductor.hpp"
@@ -120,16 +121,20 @@ struct LiveFlow {
   scenario::Testbed* srv_bed = nullptr;
   scenario::Testbed* cli_bed = nullptr;
   container::Pod::Fragment* srv_frag = nullptr;
-  container::Pod::Fragment* cli_frag = nullptr;  // Hostlo only
+  container::Pod::Fragment* cli_frag = nullptr;  // Hostlo/Overlay only
   container::Container* srv_container = nullptr;
-  container::Container* cli_container = nullptr;  // Hostlo only
+  container::Container* cli_container = nullptr;  // Hostlo/Overlay only
   vmm::Vm* srv_vm = nullptr;
   std::vector<core::HostloCni::EndpointInfo> hostlo_eps;
+  std::unique_ptr<scenario::OverlayNetwork> overlay;  // Overlay only
   std::shared_ptr<RrFlow> rr;
   std::shared_ptr<StreamFlow> stream;
 
   [[nodiscard]] bool ready() const {
     if (srv_container == nullptr) return false;
+    if (plan->mode == FlowMode::kOverlayRr) {
+      return cli_container != nullptr;
+    }
     if (plan->mode != FlowMode::kHostloRr) return true;
     return cli_container != nullptr && hostlo_eps.size() == 2;
   }
@@ -272,6 +277,36 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
                &f.srv_container);
           break;
         }
+        case FlowMode::kOverlayRr: {
+          vmm::Vm& vm_a = f.srv_bed->create_vm_with_uplink(fname + "-a");
+          vmm::Vm& vm_b = f.srv_bed->create_vm_with_uplink(fname + "-b");
+          track_stack(fname + "-a-vm", fp.srv_machine, &vm_a.stack());
+          track_stack(fname + "-b-vm", fp.srv_machine, &vm_b.stack());
+          f.overlay = std::make_unique<scenario::OverlayNetwork>(*f.srv_bed);
+          auto& pod_a = f.srv_bed->create_pod(fname + "-poda");
+          auto& pod_b = f.srv_bed->create_pod(fname + "-podb");
+          f.cli_frag = &pod_a.add_fragment(vm_a, pod_mode);
+          f.srv_frag = &pod_b.add_fragment(vm_b, pod_mode);
+          f.srv_vm = &vm_b;
+          track_stack(fname + "-cli-pod", fp.srv_machine,
+                      f.cli_frag->stack.get());
+          track_stack(fname + "-srv-pod", fp.srv_machine,
+                      f.srv_frag->stack.get());
+          LiveFlow* fl = &f;
+          auto overlay_attach =
+              [fl](container::Pod::Fragment& fragment,
+                   std::function<void(container::Runtime::AttachOutcome)>
+                       done) {
+                const auto a = fl->overlay->attach(fragment);
+                done(container::Runtime::AttachOutcome{true, a.ifindex,
+                                                       a.ip});
+              };
+          boot(*f.srv_bed, *f.cli_frag, fname + "-cli", overlay_attach,
+               &f.cli_container);
+          boot(*f.srv_bed, *f.srv_frag, fname + "-srv", overlay_attach,
+               &f.srv_container);
+          break;
+        }
       }
     }
 
@@ -290,6 +325,14 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
         return out;
       }
       conductor.run_until(conductor.now() + deploy_step);
+    }
+
+    // Program the overlay L2->VTEP tables now that every member attached;
+    // the oncache shape then flips the encap/decap fast path on.
+    for (LiveFlow& f : flows) {
+      if (f.overlay == nullptr) continue;
+      f.overlay->finalize();
+      if (shape.oncache) f.overlay->set_oncache_enabled(true);
     }
 
     if (shape.flowcache) {
@@ -336,6 +379,14 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
           d->cli_ip = f.cli_bed->machine().bridge_ip();
           d->srv_service_ip = f.srv_frag->stack->iface_ip(
               f.srv_frag->stack->ifindex_of("eth0"));
+          d->srv_local_ip = d->srv_service_ip;
+        } else if (fp.mode == FlowMode::kOverlayRr) {
+          d->cli_stack = f.cli_frag->stack.get();
+          d->cli_app = f.cli_container->app_core();
+          d->cli_ip = f.cli_frag->stack->iface_ip(
+              f.cli_frag->stack->ifindex_of("ov0"));
+          d->srv_service_ip = f.srv_frag->stack->iface_ip(
+              f.srv_frag->stack->ifindex_of("ov0"));
           d->srv_local_ip = d->srv_service_ip;
         } else {
           d->cli_stack = f.cli_frag->stack.get();
@@ -415,6 +466,22 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
         switch (act.kind) {
           case ActionKind::kAddDropRule: {
             const FlowPlan& fp = plan.flows[std::size_t(act.flow)];
+            if (fp.mode == FlowMode::kOverlayRr) {
+              // Drop VXLAN datagrams at the server VM's INPUT chain: the
+              // overlay flow halts, and the rule edit must flush any
+              // cached oncache ingress paths on that VM.
+              net::Rule rule;
+              rule.match.proto = net::L4Proto::kUdp;
+              rule.match.dport = 4789;
+              rule.target = net::TargetKind::kDrop;
+              rule.comment = "fuzz-ovdrop-" + std::to_string(act.flow);
+              for (LiveFlow& f : flows) {
+                if (f.index != act.flow) continue;
+                f.srv_vm->stack().netfilter().add_filter_rule(
+                    net::Hook::kInput, rule);
+              }
+              break;
+            }
             net::Rule rule;
             rule.match.proto = net::L4Proto::kUdp;
             rule.match.dport = fp.srv_port;
@@ -511,6 +578,15 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
       out.strict.add(p + "bytes", bytes);
       if (f.rr != nullptr) {
         out.strict.add(p + "latency_ns", f.rr->latency_ns_sum);
+      }
+      if (f.overlay != nullptr) {
+        // Oncache evidence: hit/invalidation totals pin the fast path's
+        // behaviour in the strict digest (0 on every cache-off shape).
+        const auto t = f.overlay->oncache_totals();
+        out.strict.add(p + "oncache_eg_hits", t.egress_hits);
+        out.strict.add(p + "oncache_in_hits", t.ingress_hits);
+        out.strict.add(p + "oncache_inval", t.invalidations);
+        out.strict.add(p + "oncache_entries", t.entries);
       }
     }
     for (auto& [name, s] : all_stacks) {

@@ -47,6 +47,10 @@ struct RunShape {
   /// baseline: delivered work must match even though the compact pipeline
   /// has no netfilter/GRO and different per-packet costs.
   bool fastpath_pods = false;
+  /// Enables the ONCache encap/decap fast path on every overlay flow's
+  /// caches.  The oncache oracle compares this shape's *semantic* digest
+  /// against the baseline: cached encap/decap moves timing, not outcomes.
+  bool oncache = false;
   std::string label;          ///< for failure reports ("A", "B", ...)
 };
 

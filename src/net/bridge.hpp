@@ -62,9 +62,14 @@ class Bridge : public Device {
   [[nodiscard]] Fdb& fdb() { return fdb_; }
   [[nodiscard]] std::uint64_t floods() const { return floods_; }
 
- private:
-  void forward(EthernetFrame frame, int ingress_port);
+ protected:
+  /// The switching decision + transmit, after ingress charged the per-frame
+  /// bridge cost.  Virtual so the overlay CachedBridge (net/oncache.hpp)
+  /// can observe decisions without interposing a device (an extra hop
+  /// would change timing); overrides must delegate here.
+  virtual void forward(EthernetFrame frame, int ingress_port);
 
+ private:
   Fdb fdb_;
   bool guest_level_;
   std::uint64_t floods_ = 0;

@@ -1,0 +1,605 @@
+// ONCache-style overlay fast path: cached encap/decap for VXLAN traffic.
+//
+// The Overlay baseline (figs 10-15) pays the full chain on every packet:
+// inner bridge lookup -> VXLAN encap resolution -> underlay OUTPUT/
+// POSTROUTING hooks -> route -> ARP on egress, and the mirror chain
+// (PREROUTING/INPUT -> UDP demux -> decap -> inner bridge) on ingress.
+// For all but the first packet of a flow the outcome is fully determined,
+// exactly the observation net/flowcache exploits for non-encapsulated
+// paths.  OnCache memoizes the overlay outcome:
+//
+//  * egress cache: inner FlowKey (5-tuple + bridge ingress port) ->
+//    EgressPath {resolved VTEP, precomputed outer headers, egress ifindex +
+//    next-hop MAC, outer conntrack backing, fused cost}.  A hit at the
+//    overlay bridge emits the finished outer frame in ONE fused-cost event
+//    (oncache_encap_hit) instead of the bridge/vxlan/l4/hook/route chain.
+//  * ingress cache: {VNI + inner 5-tuple} -> IngressPath {expected sender
+//    VTEP, target bridge port, fused cost}.  A hit at stack RX delivers the
+//    inner frame straight to the pod-facing bridge port in one event
+//    (oncache_decap_hit), skipping PREROUTING/INPUT, UDP demux and the
+//    decap + bridge-forward events.
+//
+// Coherence reuses the flowcache machinery (generation stamps + targeted
+// invalidation) extended to the overlay-specific sources:
+//
+//   source                         | action
+//   -------------------------------+--------------------------------------
+//   netfilter rule edit            | invalidate_rule_match: flush entries
+//                                  | whose outer header view (pre- and
+//                                  | post-NAT egress, ingress) matches
+//   VTEP l2_table_ remap           | invalidate_inner_mac (VxlanDevice::
+//                                  | add_remote)
+//   overlay bridge FDB evict/flush | invalidate_inner_mac (Fdb eviction
+//                                  | listener installed by CachedBridge)
+//   NIC hot-unplug                 | invalidate_egress_ifindex (+ full
+//                                  | ingress flush when it is the uplink)
+//   conntrack GC reap              | invalidate_conn (egress entries carry
+//                                  | the outer connection's ct_id)
+//   route-table edit               | routes_gen stamp check at hit time
+//   cache disable                  | invalidate_all + pending reset
+//
+// Storage is the same chunked-slab + open-addressed-bucket + intrusive-LRU
+// scheme as net/flowcache (SlabCache below, a template over key/path), so
+// entries are compact: no string interface names, fixed-width stamps.
+//
+// Recording happens on the slow path only (so the first packet of a flow
+// pays full price and teaches the cache), threaded through the async chain
+// by packet identity: the bridge notes a cacheable inner frame, the VTEP
+// promotes it to the outer packet id at encap, and the stack completes it
+// once the outer route + ARP resolve (FullStack::arp_resolve_and_send).
+// A FastPathStack-hosted VTEP never completes (its emit path has no
+// recording hook), so attaching a cache there is sound but stays cold —
+// the has_netfilter()==false interplay the tests pin down.
+//
+// Attached-but-disabled is bit-identical to the plain overlay path: every
+// hook is a null/bool guard, no event, charge or RNG draw differs
+// (bench/abl_oncache gates cacheoff_equivalence_max_delta == 0).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/bridge.hpp"
+#include "net/flowcache/flow_key.hpp"
+#include "net/netfilter.hpp"
+#include "net/packet.hpp"
+#include "net/stack_backend.hpp"
+#include "sim/cost_model.hpp"
+
+namespace nestv::net::oncache {
+
+/// Identity of one decapsulated inner flow: VNI + inner 5-tuple.  The
+/// bridge ingress port is *not* part of the key — every ingress entry
+/// enters through the VTEP — but the learned sender VTEP is validated on
+/// each hit so a remote endpoint that moved cannot keep injecting.
+struct IngressKey {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint32_t vni = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  L4Proto proto = L4Proto::kUdp;
+
+  friend bool operator==(const IngressKey&, const IngressKey&) = default;
+
+  [[nodiscard]] static IngressKey of(const Packet& inner, std::uint32_t vni) {
+    return IngressKey{inner.src_ip,   inner.dst_ip,   vni,
+                      inner.src_port, inner.dst_port, inner.proto};
+  }
+};
+
+struct IngressKeyHash {
+  std::size_t operator()(const IngressKey& k) const noexcept {
+    std::uint64_t h = k.src_ip.value();
+    h = h * 0x9e3779b97f4a7c15ULL + k.dst_ip.value();
+    h = h * 0x9e3779b97f4a7c15ULL + k.vni;
+    h = h * 0x9e3779b97f4a7c15ULL +
+        ((std::uint64_t{k.src_port} << 24) | (std::uint64_t{k.dst_port} << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint8_t>(k.proto)));
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+/// Memoized egress outcome for one inner flow.  Compact per the slab-arena
+/// style: fixed-width stamps, ifindex ordinals, no strings (rule-match
+/// targeting resolves names through the owning stack).
+struct EgressPath {
+  /// Outer connection's conntrack backing; a cached path whose backing
+  /// expired must not serve hits (validated by OnCache at hit time).
+  std::uint64_t ct_id = 0;
+
+  Ipv4Address remote_vtep;  ///< pre-NAT outer destination (rule targeting)
+  /// Post-hook outer header (what OUTPUT/POSTROUTING produced).
+  Ipv4Address outer_src;
+  Ipv4Address outer_dst;
+  std::uint16_t outer_sport = 0;
+  std::uint16_t outer_dport = 0;
+
+  /// Fused per-packet charge replacing the bridge/encap/hook/route chain.
+  std::uint32_t fast_cost = 0;
+
+  std::uint16_t generation = 0;  ///< cache generation at insert
+  std::uint16_t routes_gen = 0;  ///< owning stack's routing generation
+
+  MacAddress inner_dst;     ///< validated against the frame on each hit
+  MacAddress next_hop_mac;  ///< resolved underlay L2 next hop
+  std::int16_t out_ifindex = -1;
+};
+
+/// Memoized ingress outcome: deliver the decapped frame to `out_port`.
+/// No ct_id by design — the ingress fast path does not keep the outer
+/// connection's conntrack entry alive; if GC reaps it only the slow path
+/// notices (and re-creates it on the next miss).
+struct IngressPath {
+  Ipv4Address outer_src;  ///< expected sender VTEP (validated on hit)
+  std::uint32_t fast_cost = 0;
+  std::uint16_t generation = 0;
+  MacAddress inner_dst;  ///< validated against the decapped frame
+  std::int16_t out_port = -1;  ///< overlay bridge port of the target veth
+};
+
+/// The flowcache storage scheme (chunked slab + open-addressed bucket
+/// index + intrusive LRU; see net/flowcache/flowcache.hpp for the full
+/// rationale) as a template, so the egress and ingress tables share one
+/// implementation.  `Path` must carry a std::uint16_t `generation` field.
+template <typename Key, typename Path, typename Hash>
+class SlabCache {
+ public:
+  explicit SlabCache(std::size_t capacity) : capacity_(capacity) {
+    buckets_.assign(32, kNil);
+  }
+
+  [[nodiscard]] const Path* lookup(const Key& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kNil) {
+      ++misses_;
+      return nullptr;
+    }
+    if (slot(s).path.generation != static_cast<std::uint16_t>(generation_)) {
+      erase_slot(s);  // stamped before the last invalidate_all()
+      ++misses_;
+      return nullptr;
+    }
+    lru_unlink(s);
+    lru_push_front(s);
+    ++hits_;
+    return &slot(s).path;
+  }
+
+  [[nodiscard]] const Path* peek(const Key& key) const {
+    const std::uint32_t s = find_slot(key);
+    if (s == kNil ||
+        slot(s).path.generation != static_cast<std::uint16_t>(generation_)) {
+      return nullptr;
+    }
+    return &slot(s).path;
+  }
+
+  void insert(const Key& key, Path path) {
+    path.generation = static_cast<std::uint16_t>(generation_);
+    const std::uint32_t existing = find_slot(key);
+    if (existing != kNil) {
+      slot(existing).path = std::move(path);
+      lru_unlink(existing);
+      lru_push_front(existing);
+      return;
+    }
+    if (size_ >= capacity_ && lru_tail_ != kNil) {
+      erase_slot(lru_tail_);
+      ++evictions_;
+    }
+    const std::uint32_t s = alloc_slot();
+    Slot& sl = slot(s);
+    sl.key = key;
+    sl.path = std::move(path);
+    bucket_insert(s);
+    lru_push_front(s);
+    ++size_;
+  }
+
+  void invalidate(const Key& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kNil) return;
+    erase_slot(s);
+    ++invalidations_;
+  }
+
+  /// Flushes entries matching `pred`, most-recent-first; returns the count.
+  std::size_t invalidate_if(
+      const std::function<bool(const Key&, const Path&)>& pred) {
+    std::size_t flushed = 0;
+    for (std::uint32_t s = lru_head_; s != kNil;) {
+      const std::uint32_t next = slot(s).lru_next;
+      if (pred(slot(s).key, slot(s).path)) {
+        erase_slot(s);
+        ++flushed;
+      }
+      s = next;
+    }
+    invalidations_ += flushed;
+    return flushed;
+  }
+
+  /// O(1) full flush via generation bump.
+  void invalidate_all() {
+    ++generation_;
+    invalidations_ += size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+  [[nodiscard]] std::size_t state_bytes() const {
+    return slots_cap_ * sizeof(Slot) +
+           buckets_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffU;
+  static constexpr std::uint32_t kFreeMark = 0xfffffffeU;
+  static constexpr std::uint32_t kTomb = 0xfffffffdU;
+  static constexpr std::uint32_t kFirstChunkSlots = 8;
+  static constexpr std::uint32_t kChunksPerDoubling = 4;
+
+  struct Slot {
+    Path path;
+    Key key;
+    std::uint32_t lru_prev = kFreeMark;  ///< kFreeMark while free
+    std::uint32_t lru_next = kNil;       ///< free-list link while free
+
+    [[nodiscard]] bool occupied() const { return lru_prev != kFreeMark; }
+  };
+
+  [[nodiscard]] std::pair<std::size_t, std::size_t> chunk_of(
+      std::uint32_t s) const {
+    std::size_t c = chunk_bases_.size() - 1;
+    while (chunk_bases_[c] > s) --c;
+    return {c, s - chunk_bases_[c]};
+  }
+  [[nodiscard]] Slot& slot(std::uint32_t s) {
+    const auto [c, off] = chunk_of(s);
+    return chunks_[c][off];
+  }
+  [[nodiscard]] const Slot& slot(std::uint32_t s) const {
+    const auto [c, off] = chunk_of(s);
+    return chunks_[c][off];
+  }
+
+  [[nodiscard]] std::uint32_t find_slot(const Key& key) const {
+    const std::size_t n = buckets_.size();
+    for (std::size_t i = Hash{}(key) % n;; i = i + 1 == n ? 0 : i + 1) {
+      const std::uint32_t b = buckets_[i];
+      if (b == kNil) return kNil;
+      if (b != kTomb && slot(b).key == key) return b;
+    }
+  }
+
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNil) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slot(s).lru_next;
+      return s;
+    }
+    if (slots_used_ == slots_cap_) {
+      const std::uint32_t n =
+          kFirstChunkSlots
+          << (static_cast<std::uint32_t>(chunks_.size()) / kChunksPerDoubling);
+      chunks_.push_back(std::make_unique<Slot[]>(n));
+      chunk_bases_.push_back(slots_cap_);
+      slots_cap_ += n;
+    }
+    return slots_used_++;
+  }
+
+  void lru_unlink(std::uint32_t s) {
+    Slot& sl = slot(s);
+    if (sl.lru_prev != kNil) {
+      slot(sl.lru_prev).lru_next = sl.lru_next;
+    } else {
+      lru_head_ = sl.lru_next;
+    }
+    if (sl.lru_next != kNil) {
+      slot(sl.lru_next).lru_prev = sl.lru_prev;
+    } else {
+      lru_tail_ = sl.lru_prev;
+    }
+    sl.lru_prev = sl.lru_next = kNil;
+  }
+
+  void lru_push_front(std::uint32_t s) {
+    Slot& sl = slot(s);
+    sl.lru_prev = kNil;
+    sl.lru_next = lru_head_;
+    if (lru_head_ != kNil) slot(lru_head_).lru_prev = s;
+    lru_head_ = s;
+    if (lru_tail_ == kNil) lru_tail_ = s;
+  }
+
+  void erase_slot(std::uint32_t s) {
+    bucket_erase(s);
+    lru_unlink(s);
+    Slot& sl = slot(s);
+    sl.lru_prev = kFreeMark;
+    sl.lru_next = free_head_;  // reused as the free-list link
+    free_head_ = s;
+    --size_;
+  }
+
+  void bucket_insert(std::uint32_t s) {
+    maybe_grow_buckets();
+    const std::size_t n = buckets_.size();
+    for (std::size_t i = Hash{}(slot(s).key) % n;;
+         i = i + 1 == n ? 0 : i + 1) {
+      std::uint32_t& b = buckets_[i];
+      if (b == kNil || b == kTomb) {
+        if (b == kTomb) --bucket_dead_;
+        b = s;
+        return;
+      }
+    }
+  }
+
+  void bucket_erase(std::uint32_t s) {
+    const std::size_t n = buckets_.size();
+    for (std::size_t i = Hash{}(slot(s).key) % n;;
+         i = i + 1 == n ? 0 : i + 1) {
+      if (buckets_[i] == s) {
+        buckets_[i] = kTomb;
+        ++bucket_dead_;
+        return;
+      }
+    }
+  }
+
+  void maybe_grow_buckets() {
+    if ((size_ + bucket_dead_ + 1) * 20 < buckets_.size() * 17) return;
+    std::size_t n = size_ * 10 / 7 + 1;
+    if (n < 32) n = 32;
+    buckets_.assign(n, kNil);
+    buckets_.shrink_to_fit();
+    bucket_dead_ = 0;
+    for (std::uint32_t s = 0; s < slots_used_; ++s) {
+      if (!slot(s).occupied()) continue;
+      for (std::size_t i = Hash{}(slot(s).key) % n;;
+           i = i + 1 == n ? 0 : i + 1) {
+        if (buckets_[i] == kNil) {
+          buckets_[i] = s;
+          break;
+        }
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::vector<std::uint32_t> chunk_bases_;
+  std::uint32_t slots_used_ = 0;
+  std::uint32_t slots_cap_ = 0;
+  std::uint32_t free_head_ = kNil;
+  std::vector<std::uint32_t> buckets_;
+  std::size_t bucket_dead_ = 0;
+  std::uint32_t lru_head_ = kNil;
+  std::uint32_t lru_tail_ = kNil;
+  std::size_t size_ = 0;
+  std::uint64_t generation_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+class OnCache;
+
+/// Overlay bridge with an egress fast-path tap.  Subclassing (rather than
+/// interposing a device) keeps the topology identical: no extra hop, and
+/// with no cache attached — or the cache disabled — every frame takes
+/// exactly Bridge's path.
+class CachedBridge : public Bridge {
+ public:
+  CachedBridge(sim::Engine& engine, std::string name,
+               const sim::CostModel& costs, bool guest_level = true)
+      : Bridge(engine, std::move(name), costs, guest_level) {}
+
+  /// `vxlan_port` is the bridge port the VTEP hangs off; frames switched
+  /// toward it are encap candidates, frames entering from it are decap
+  /// results.  Also subscribes the cache to FDB evictions.
+  void attach_oncache(OnCache* cache, int vxlan_port);
+
+  /// Injects a frame into `port` as if forwarded (the ingress fast path's
+  /// last hop; Device::transmit is protected).
+  void inject(int port, EthernetFrame frame) {
+    transmit(port, std::move(frame));
+  }
+
+  void ingress(EthernetFrame frame, int port) override;
+
+ protected:
+  void forward(EthernetFrame frame, int ingress_port) override;
+
+ private:
+  OnCache* cache_ = nullptr;
+  int vxlan_port_ = -1;
+};
+
+/// The per-stack overlay fast-path cache.  One instance per (VM, overlay):
+/// it is wired to the VM's overlay CachedBridge, its VxlanDevice and its
+/// underlay stack (StackBackend::attach_oncache).
+class OnCache {
+ public:
+  static constexpr std::uint16_t kVtepPort = 4789;
+
+  OnCache(StackBackend& stack, const sim::CostModel& costs,
+          std::uint32_t vni = 0)
+      : stack_(&stack),
+        costs_(&costs),
+        vni_(vni),
+        egress_(costs.oncache_capacity),
+        ingress_(costs.oncache_capacity) {}
+
+  void set_local_vtep(Ipv4Address ip) { local_vtep_ = ip; }
+  void set_uplink_ifindex(int ifindex) { uplink_ifindex_ = ifindex; }
+  void set_bridge(CachedBridge* bridge) { bridge_ = bridge; }
+
+  /// Off by default: the calibrated Overlay figures are measured with the
+  /// cache disabled, and attached-disabled is bit-identical to detached.
+  /// Disabling flushes both tables and the pending records.
+  void set_enabled(bool on) {
+    enabled_ = on;
+    if (!on) {
+      egress_.invalidate_all();
+      ingress_.invalidate_all();
+      clear_pending();
+    }
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::uint32_t vni() const { return vni_; }
+  [[nodiscard]] std::uint16_t vtep_port() const { return kVtepPort; }
+
+  // ---- slow-path recording ----------------------------------------------
+  // The resolution of one egress flow is scattered across the async chain;
+  // records are threaded by packet identity (per-stack packet ids are only
+  // unique per stack, so the inner key pairs the id with the inner source
+  // MAC, unique per pod).
+  struct PendingKey {
+    std::uint64_t packet_id = 0;
+    MacAddress src;
+    friend bool operator==(const PendingKey&, const PendingKey&) = default;
+  };
+
+  /// Bridge saw an inner frame switch toward the VTEP port.
+  void note_egress(const PendingKey& k, const flowcache::FlowKey& key,
+                   MacAddress inner_dst);
+  /// VTEP resolved the remote and minted the outer packet id.
+  void promote_egress(const PendingKey& k, Ipv4Address remote_vtep,
+                      std::uint64_t outer_packet_id);
+  /// The frame flooded (or was otherwise not cacheable): drop the record.
+  void abandon_egress(const PendingKey& k);
+  /// Outer route + ARP resolved (FullStack::arp_resolve_and_send): insert
+  /// the egress entry and charge the one-time oncache_insert.
+  void complete_egress(const Packet& outer, int out_ifindex,
+                       MacAddress next_hop_mac);
+
+  /// VTEP decapsulated an inner frame from `outer_src`.
+  void note_ingress(const PendingKey& k, const IngressKey& key,
+                    Ipv4Address outer_src);
+  void abandon_ingress(const PendingKey& k);
+  /// Bridge switched the decapped frame to a known pod port.
+  void complete_ingress(const PendingKey& k, MacAddress inner_dst,
+                        int out_port);
+
+  // ---- fast paths -------------------------------------------------------
+  /// Egress lookup + validation (inner dst MAC, routing generation, outer
+  /// conntrack liveness — which it also touches, keeping the outer
+  /// connection alive while the hooks are bypassed).  Stale entries are
+  /// flushed; returns null on any miss.
+  [[nodiscard]] const EgressPath* match_egress(const EthernetFrame& frame,
+                                               int ingress_port);
+  /// Builds and transmits the outer frame (runs inside the bridge's fused
+  /// cost event).
+  void serve_egress(const EgressPath& path, EthernetFrame inner);
+
+  /// Ingress lookup + validation (sender VTEP, inner dst MAC) for an outer
+  /// datagram addressed to this stack's VTEP port.
+  [[nodiscard]] const IngressPath* match_ingress(const Packet& outer);
+  /// Hands the stolen inner frame to the overlay bridge port (runs inside
+  /// the stack's fused cost event).
+  void deliver_ingress(int out_port, EthernetFrame frame);
+
+  // ---- invalidation -----------------------------------------------------
+  /// Rule-table edit: flush entries whose outer header view (egress pre-
+  /// and post-NAT, ingress) matches the changed rule's predicate.
+  std::size_t invalidate_rule_match(
+      const RuleMatch& match,
+      const std::function<std::string(int)>& iface_name);
+  /// VTEP remap / overlay FDB eviction: flush both directions of `mac`.
+  std::size_t invalidate_inner_mac(MacAddress mac);
+  /// NIC hot-unplug: flush egress entries leaving `ifindex`; when it is
+  /// the VTEP's uplink the ingress table goes too (nothing can arrive).
+  std::size_t invalidate_egress_ifindex(int ifindex);
+  /// Conntrack GC reaped the outer connection backing an egress entry.
+  std::size_t invalidate_conn(std::uint64_t ct_id);
+  void invalidate_all();
+
+  // ---- statistics -------------------------------------------------------
+  [[nodiscard]] std::uint64_t egress_hits() const { return egress_.hits(); }
+  [[nodiscard]] std::uint64_t ingress_hits() const { return ingress_.hits(); }
+  [[nodiscard]] std::uint64_t invalidations() const {
+    return egress_.invalidations() + ingress_.invalidations();
+  }
+  [[nodiscard]] std::size_t size() const {
+    return egress_.size() + ingress_.size();
+  }
+  [[nodiscard]] std::size_t state_bytes() const {
+    return egress_.state_bytes() + ingress_.state_bytes();
+  }
+  [[nodiscard]] const SlabCache<flowcache::FlowKey, EgressPath,
+                                flowcache::FlowKeyHash>&
+  egress_cache() const {
+    return egress_;
+  }
+  [[nodiscard]] const SlabCache<IngressKey, IngressPath, IngressKeyHash>&
+  ingress_cache() const {
+    return ingress_;
+  }
+
+  [[nodiscard]] StackBackend& stack() { return *stack_; }
+  [[nodiscard]] const sim::CostModel& costs() const { return *costs_; }
+
+ private:
+  struct PendingKeyHash {
+    std::size_t operator()(const PendingKey& k) const noexcept {
+      const std::uint64_t h =
+          (k.packet_id ^ k.src.as_u64()) * 0x9e3779b97f4a7c15ULL;
+      return static_cast<std::size_t>(h ^ (h >> 31));
+    }
+  };
+  struct PendingEgress {
+    flowcache::FlowKey key;
+    MacAddress inner_dst;
+    Ipv4Address remote_vtep;  ///< set at promote
+  };
+  struct PendingIngress {
+    IngressKey key;
+    Ipv4Address outer_src;
+  };
+
+  /// Pending records are transient (bridge -> VTEP -> ARP, a handful of
+  /// events); a bounded population keeps a lossy chain from accumulating
+  /// state.  Overflow clears everything — deterministic, and the flows
+  /// simply re-record.
+  static constexpr std::size_t kMaxPending = 64;
+
+  void clear_pending() {
+    pending_by_inner_.clear();
+    pending_by_outer_.clear();
+    pending_ingress_.clear();
+  }
+  void charge_insert();
+
+  StackBackend* stack_;
+  const sim::CostModel* costs_;
+  CachedBridge* bridge_ = nullptr;
+  Ipv4Address local_vtep_;
+  int uplink_ifindex_ = -1;
+  std::uint32_t vni_ = 0;
+  bool enabled_ = false;
+
+  SlabCache<flowcache::FlowKey, EgressPath, flowcache::FlowKeyHash> egress_;
+  SlabCache<IngressKey, IngressPath, IngressKeyHash> ingress_;
+
+  std::unordered_map<PendingKey, PendingEgress, PendingKeyHash>
+      pending_by_inner_;
+  std::unordered_map<std::uint64_t, PendingEgress> pending_by_outer_;
+  std::unordered_map<PendingKey, PendingIngress, PendingKeyHash>
+      pending_ingress_;
+};
+
+}  // namespace nestv::net::oncache

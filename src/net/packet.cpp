@@ -65,7 +65,13 @@ void* Packet::operator new(std::size_t bytes) {
 void Packet::operator delete(void* p, std::size_t bytes) noexcept {
   PacketPool::local().deallocate(p, bytes);
 }
-void Packet::operator delete(void* p) noexcept { ::operator delete(p); }
+// The unsized form is the one delete-expressions actually select when both
+// overloads are declared; it must recycle through the pool exactly like the
+// sized form or every freed node skips the live-node accounting.  Packet is
+// never a base class, so the static size is the allocated size.
+void Packet::operator delete(void* p) noexcept {
+  PacketPool::local().deallocate(p, sizeof(Packet));
+}
 
 EthernetFrame::EthernetFrame(const EthernetFrame& other)
     : src(other.src),
@@ -93,7 +99,7 @@ void EthernetFrame::operator delete(void* p, std::size_t bytes) noexcept {
   PacketPool::local().deallocate(p, bytes);
 }
 void EthernetFrame::operator delete(void* p) noexcept {
-  ::operator delete(p);
+  PacketPool::local().deallocate(p, sizeof(EthernetFrame));
 }
 
 std::uint32_t Packet::l4_header_bytes() const {

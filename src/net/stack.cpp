@@ -1,5 +1,6 @@
 #include "net/stack.hpp"
 
+#include "net/oncache.hpp"
 #include "net/pcap.hpp"
 #include "net/trace.hpp"
 #include "sim/test_hooks.hpp"
@@ -21,14 +22,22 @@ FullStack::FullStack(sim::Engine& engine, std::string name,
       nf_(costs),
       fcache_(costs.flowcache_capacity) {
   // Rule-table edits flush exactly the cached flows the changed rule
-  // could have matched (on either their ingress or post-NAT header view).
+  // could have matched (on either their ingress or post-NAT header view)
+  // — from the flowcache and from the overlay fast-path cache when one is
+  // attached.
   nf_.set_mutation_listener([this](const RuleMatch& m) {
-    if (sim::test_hooks::skip_flowcache_rule_invalidation) return;
-    fcache_.invalidate_match(m, [this](int ifindex) {
+    const auto name_of = [this](int ifindex) {
       const auto i = static_cast<std::size_t>(ifindex);
       return ifindex >= 0 && i < ifaces_.size() ? ifaces_[i].cfg.name
                                                 : std::string{};
-    });
+    };
+    if (!sim::test_hooks::skip_flowcache_rule_invalidation) {
+      fcache_.invalidate_match(m, name_of);
+    }
+    if (oncache_ != nullptr &&
+        !sim::test_hooks::skip_oncache_rule_invalidation) {
+      oncache_->invalidate_rule_match(m, name_of);
+    }
   });
   // Interface 0 is always loopback.
   Interface lo;
@@ -337,6 +346,7 @@ void FullStack::ip_rx(int ifindex, Packet p) {
 }
 
 void FullStack::ip_rx_one(int ifindex, Packet p) {
+  if (oncache_ != nullptr && oncache_rx(ifindex, p)) return;
   if (flowcache_enabled_ && flowcache_rx(ifindex, p)) return;
   // Remember the ingress-time identity before any hook rewrites headers;
   // the slow path memoizes its outcome under this key.
@@ -607,6 +617,11 @@ void FullStack::arp_resolve_and_send(
     record_flow(*record, p, flowcache::CachedPath::Action::kForward,
                 out_ifindex, *mac);
   }
+  if (oncache_ != nullptr && p.inner) {
+    // An encapsulated outer packet fully resolved: close the pending
+    // overlay record opened at the bridge and promoted by the VTEP.
+    oncache_->complete_egress(p, out_ifindex, *mac);
+  }
   EthernetFrame f;
   f.src = itf.cfg.mac;
   f.dst = *mac;
@@ -741,6 +756,49 @@ bool FullStack::flowcache_rx(int ifindex, Packet& p) {
   return false;
 }
 
+// ---- oncache overlay fast path ---------------------------------------------
+
+bool FullStack::oncache_rx(int ifindex, Packet& p) {
+  (void)ifindex;
+  if (!oncache_->enabled()) return false;
+  // Only VXLAN datagrams addressed to this stack's VTEP port qualify; the
+  // inner frame must be present (truncated payloads take the slow path and
+  // are dropped by the VTEP there).
+  if (p.proto != L4Proto::kUdp || !p.inner ||
+      p.dst_port != oncache_->vtep_port() || !is_local_address(p.dst_ip)) {
+    return false;
+  }
+  const oncache::IngressPath* path = oncache_->match_ingress(p);
+  if (path == nullptr) return false;
+  if (nestv_trace_enabled())
+    std::fprintf(stderr, "[%s t=%llu] oncache-hit rx %s\n", name_.c_str(),
+                 (unsigned long long)engine_->now(), p.describe().c_str());
+  ++delivered_;  // the outer datagram was locally delivered (fused)
+  const sim::Duration cost =
+      path->fast_cost +
+      static_cast<sim::Duration>(
+          costs_->vxlan_copy_byte *
+          static_cast<double>(p.inner->wire_bytes()));
+  const int out_port = path->out_port;
+  // Sole consumer: steal the inner frame, as the VTEP slow path does.
+  EthernetFrame inner = std::move(*p.inner);
+  softirq_run(cost, [this, out_port, f = std::move(inner)]() mutable {
+    oncache_->deliver_ingress(out_port, std::move(f));
+  });
+  return true;
+}
+
+void FullStack::oncache_xmit(int out_ifindex, EthernetFrame frame) {
+  Interface& itf = ifaces_.at(static_cast<std::size_t>(out_ifindex));
+  if (itf.backend == nullptr) {
+    // Hot-unplugged while the fused event was in flight.
+    ++dropped_;
+    return;
+  }
+  if (capture_ != nullptr) capture_->record(engine_->now(), frame);
+  itf.backend->xmit(std::move(frame));
+}
+
 void FullStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
                             flowcache::CachedPath::Action action,
                             int out_ifindex, MacAddress next_hop_mac) {
@@ -766,7 +824,12 @@ void FullStack::record_flow(const flowcache::FlowKey& key, const Packet& p,
 
 std::size_t FullStack::conntrack_gc(sim::Duration idle_timeout) {
   const auto reaped = nf_.gc(engine_->now(), idle_timeout);
-  for (const std::uint64_t id : reaped) fcache_.invalidate_conn(id);
+  for (const std::uint64_t id : reaped) {
+    fcache_.invalidate_conn(id);
+    // Overlay egress entries carry the outer connection's ct_id; a cached
+    // entry must never outlive its conntrack backing.
+    if (oncache_ != nullptr) oncache_->invalidate_conn(id);
+  }
   return reaped.size();
 }
 
@@ -781,6 +844,9 @@ void FullStack::detach_interface(int ifindex) {
   itf.arp_pending.clear();
   // Targeted flush: only flows entering or leaving this ifindex.
   fcache_.invalidate_ifindex(ifindex);
+  // Overlay entries leaving the dead NIC (and, if it was the VTEP uplink,
+  // everything that could have arrived through it).
+  if (oncache_ != nullptr) oncache_->invalidate_egress_ifindex(ifindex);
 }
 
 // ---- ICMP API -------------------------------------------------------------------

@@ -146,6 +146,10 @@ class FullStack : public StackBackend {
   /// L4 -> network: runs OUTPUT/POSTROUTING, routes and transmits.
   void emit_packet(Packet p) override;
 
+  /// Oncache egress fast path's last hop: transmit a fully resolved frame
+  /// (capture tap included, like arp_resolve_and_send's tail).
+  void oncache_xmit(int out_ifindex, EthernetFrame frame) override;
+
   [[nodiscard]] std::uint32_t egress_gso(Ipv4Address dst) const override;
 
  private:
@@ -180,6 +184,10 @@ class FullStack : public StackBackend {
   /// Serves one packet from a cached path; returns false on a miss or a
   /// stale entry (caller falls through to the slow path).
   bool flowcache_rx(int ifindex, Packet& p);
+  /// Oncache ingress fast path: a VXLAN datagram for this stack's VTEP
+  /// whose inner flow is cached skips PREROUTING/INPUT, the UDP demux and
+  /// the decap/bridge events; returns false on a miss (slow path).
+  bool oncache_rx(int ifindex, Packet& p);
   void record_flow(const flowcache::FlowKey& key, const Packet& p,
                    flowcache::CachedPath::Action action, int out_ifindex,
                    MacAddress next_hop_mac);

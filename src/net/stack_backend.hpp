@@ -49,6 +49,9 @@ class StackBackend;
 namespace flowcache {
 class FlowCache;
 }  // namespace flowcache
+namespace oncache {
+class OnCache;
+}  // namespace oncache
 
 /// Which concrete stack implementation sits behind a StackBackend*.
 enum class StackKind : std::uint8_t {
@@ -171,6 +174,24 @@ class StackBackend {
   [[nodiscard]] virtual bool flowcache_enabled() const { return false; }
   [[nodiscard]] virtual flowcache::FlowCache& flow_cache();
   [[nodiscard]] virtual const flowcache::FlowCache& flow_cache() const;
+
+  /// Overlay fast-path cache (net/oncache) for the overlay this stack's
+  /// VTEP serves; non-owning, one per stack.  Every backend accepts the
+  /// attachment (null guards only); recording and the ingress fast path
+  /// live in FullStack, so a cache attached to another backend simply
+  /// stays cold (the FastPathStack-hosted VTEP case).
+  void attach_oncache(oncache::OnCache* cache) { oncache_ = cache; }
+  [[nodiscard]] oncache::OnCache* attached_oncache() const {
+    return oncache_;
+  }
+  /// Transmits a fully resolved frame out `ifindex` — the last hop of the
+  /// oncache egress fast path (hooks, route and ARP already memoized).
+  /// The base backend has no interface table; it drops.
+  virtual void oncache_xmit(int out_ifindex, EthernetFrame frame) {
+    (void)out_ifindex;
+    (void)frame;
+    ++dropped_;
+  }
 
   /// Conntrack garbage collection; returns reaped connections (0 when the
   /// backend keeps no conntrack).
@@ -354,6 +375,7 @@ class StackBackend {
   std::uint16_t next_ephemeral_port_ = 40000;
 
   PcapWriter* capture_ = nullptr;
+  oncache::OnCache* oncache_ = nullptr;
 
   std::uint64_t forwarded_ = 0;
   std::uint64_t delivered_ = 0;

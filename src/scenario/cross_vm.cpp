@@ -58,7 +58,8 @@ const char* to_string(CrossVmMode m) {
 }
 
 CrossVm make_cross_vm(CrossVmMode mode, std::uint16_t service_port,
-                      TestbedConfig config) {
+                      TestbedConfig config,
+                      OverlayNetwork::OncacheMode oncache_mode) {
   CrossVm s;
   s.bed = std::make_unique<Testbed>(config);
   Testbed& bed = *s.bed;
@@ -138,7 +139,9 @@ CrossVm make_cross_vm(CrossVmMode mode, std::uint16_t service_port,
     case CrossVmMode::kOverlay: {
       vmm::Vm& vm1 = bed.create_vm_with_uplink("vm1");
       vmm::Vm& vm2 = bed.create_vm_with_uplink("vm2");
-      s.overlay = std::make_unique<OverlayNetwork>(bed);
+      s.overlay = std::make_unique<OverlayNetwork>(
+          bed, net::Ipv4Cidr(net::Ipv4Address(10, 99, 0, 0), 24),
+          oncache_mode);
       OverlayNetwork& overlay = *s.overlay;
       container::Pod& pod_a = bed.create_pod("pod-a");
       container::Pod& pod_b = bed.create_pod("pod-b");

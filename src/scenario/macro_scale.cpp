@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "orch/scheduler.hpp"
+#include "scenario/overlay.hpp"
 #include "trace/google_trace.hpp"
 #include "vmm/fabric.hpp"
 
@@ -44,6 +45,8 @@ struct MachineStats {
   std::uint64_t ct_bytes_at_peak = 0;
   std::uint64_t fc_bytes_at_peak = 0;
   std::uint64_t fc_entries_at_peak = 0;
+  std::uint64_t oc_peak_entries = 0;
+  std::uint64_t oc_bytes_at_peak = 0;
 };
 
 /// One ephemeral churn flow: a short UDP RR exchange from a fresh client
@@ -173,6 +176,26 @@ struct HostloPair {
 
   [[nodiscard]] bool ready() const {
     return cli_ctr != nullptr && srv_ctr != nullptr && eps.size() == 2;
+  }
+};
+
+/// A cross-VM overlay pod pair: two VMs on one machine joined by a
+/// private VXLAN overlay (the Docker-overlay deployment mode), inner
+/// frames tunneling VM-to-VM through the host bridge underlay.
+struct OverlayPair {
+  Testbed* bed = nullptr;
+  std::uint16_t port = 0;
+  vmm::Vm* vm_a = nullptr;
+  vmm::Vm* vm_b = nullptr;
+  container::Pod::Fragment* cli_frag = nullptr;
+  container::Pod::Fragment* srv_frag = nullptr;
+  container::Container* cli_ctr = nullptr;
+  container::Container* srv_ctr = nullptr;
+  std::unique_ptr<OverlayNetwork> overlay;
+  net::Ipv4Address cli_ip, srv_ip;  // overlay addresses (post-deploy)
+
+  [[nodiscard]] bool ready() const {
+    return cli_ctr != nullptr && srv_ctr != nullptr;
   }
 };
 
@@ -324,15 +347,56 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
     }
   }
 
+  // ---- Overlay cross-VM pods ------------------------------------------
+  std::vector<std::unique_ptr<OverlayPair>> ovpairs;
+  std::vector<std::vector<int>> ov_of(static_cast<std::size_t>(m_count));
+  for (int i = 0; i < m_count; ++i) {
+    for (int v = 0; v < config.overlay_pairs_per_machine; ++v) {
+      auto op = std::make_unique<OverlayPair>();
+      op->bed = beds[std::size_t(i)].get();
+      op->port = std::uint16_t(7000 + ovpairs.size());
+      const std::string name =
+          "ov" + std::to_string(i) + "-" + std::to_string(v);
+      op->vm_a = &op->bed->create_vm_with_uplink(name + "-a");
+      op->vm_b = &op->bed->create_vm_with_uplink(name + "-b");
+      auto& pod = op->bed->create_pod(name + "-pod");
+      op->cli_frag = &pod.add_fragment(*op->vm_a);
+      op->srv_frag = &pod.add_fragment(*op->vm_b);
+      // One isolated overlay per pair (distinct VNIs); the shared 10.99/24
+      // inner subnet never reaches the underlay, so pairs cannot collide.
+      op->overlay = std::make_unique<OverlayNetwork>(
+          *op->bed, net::Ipv4Cidr(net::Ipv4Address(10, 99, 0, 0), 24),
+          OverlayNetwork::OncacheMode::kAttached,
+          std::uint32_t(100 + ovpairs.size()));
+      OverlayPair* raw = op.get();
+      auto overlay_attach =
+          [raw](container::Pod::Fragment& fragment,
+                std::function<void(container::Runtime::AttachOutcome)>
+                    done) {
+            const auto a = raw->overlay->attach(fragment);
+            done(container::Runtime::AttachOutcome{true, a.ifindex, a.ip});
+          };
+      boot(*op->bed, *op->cli_frag, name + "-cli", overlay_attach,
+           &op->cli_ctr);
+      boot(*op->bed, *op->srv_frag, name + "-srv", overlay_attach,
+           &op->srv_ctr);
+      ov_of[std::size_t(i)].push_back(int(ovpairs.size()));
+      ovpairs.push_back(std::move(op));
+    }
+  }
+
   // ---- deployment: the conductor (and only the conductor) moves time --
   const sim::Duration step = sim::milliseconds(10);
   const sim::TimePoint deploy_limit = sim::seconds(120);
-  auto all_ready = [&servers, &pairs] {
+  auto all_ready = [&servers, &pairs, &ovpairs] {
     for (const ServerPod& s : servers) {
       if (s.ctr == nullptr) return false;
     }
     for (const auto& hp : pairs) {
       if (!hp->ready()) return false;
+    }
+    for (const auto& op : ovpairs) {
+      if (!op->ready()) return false;
     }
     return true;
   };
@@ -383,6 +447,30 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
                                       del.bytes, app);
                     });
   }
+  for (auto& op : ovpairs) {
+    // Gossip tables first, then the fast path; churn clients dial the
+    // server fragment's overlay address through the VXLAN tunnel.
+    op->overlay->finalize();
+    op->overlay->set_oncache_enabled(config.oncache_enabled);
+    op->vm_a->stack().set_flowcache(true);
+    op->vm_b->stack().set_flowcache(true);
+    op->cli_frag->stack->set_flowcache(true);
+    op->srv_frag->stack->set_flowcache(true);
+    op->cli_ip = op->cli_frag->stack->iface_ip(
+        op->cli_frag->stack->ifindex_of("ov0"));
+    op->srv_ip = op->srv_frag->stack->iface_ip(
+        op->srv_frag->stack->ifindex_of("ov0"));
+    net::StackBackend* stack = op->srv_frag->stack.get();
+    sim::SerialResource* app = op->srv_ctr->app_core();
+    const net::Ipv4Address local = op->srv_ip;
+    const std::uint16_t port = op->port;
+    stack->udp_bind(port, app,
+                    [stack, app, local, port](
+                        net::StackBackend::UdpDelivery& del) {
+                      stack->udp_send(local, port, del.src_ip, del.src_port,
+                                      del.bytes, app);
+                    });
+  }
 
   // One shared client app core per machine: ephemeral flows are cheap
   // clients, not one pinned process each (10^6 SerialResources would be
@@ -411,6 +499,18 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
           pairs[std::size_t(p)]->srv_frag->stack.get());
     }
   }
+  std::vector<std::vector<const OverlayNetwork*>> overlays(
+      static_cast<std::size_t>(m_count));
+  for (int m = 0; m < m_count; ++m) {
+    for (const int p : ov_of[std::size_t(m)]) {
+      OverlayPair& op = *ovpairs[std::size_t(p)];
+      tracked[std::size_t(m)].push_back(&op.vm_a->stack());
+      tracked[std::size_t(m)].push_back(&op.vm_b->stack());
+      tracked[std::size_t(m)].push_back(op.cli_frag->stack.get());
+      tracked[std::size_t(m)].push_back(op.srv_frag->stack.get());
+      overlays[std::size_t(m)].push_back(op.overlay.get());
+    }
+  }
 
   const sim::TimePoint start_base = conductor.now() + sim::milliseconds(1);
   const sim::TimePoint arrivals_end = start_base + config.arrival_window;
@@ -421,11 +521,13 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
     sim::Engine* engp = &beds[std::size_t(i)]->engine();
     MachineStats* acc = &stats[std::size_t(i)];
     std::vector<net::StackBackend*>* stacks = &tracked[std::size_t(i)];
+    const std::vector<const OverlayNetwork*>* nets =
+        &overlays[std::size_t(i)];
     auto tick = std::make_shared<std::function<void()>>();
     ticks.push_back(tick);
     const sim::Duration idle = config.conntrack_idle;
     const sim::Duration interval = config.gc_interval;
-    *tick = [engp, acc, stacks, idle, interval, traffic_end, tick] {
+    *tick = [engp, acc, stacks, nets, idle, interval, traffic_end, tick] {
       std::uint64_t entries = 0;
       std::uint64_t ct_bytes = 0;
       std::uint64_t fc_bytes = 0;
@@ -447,6 +549,20 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
         acc->ct_bytes_at_peak = ct_bytes;
         acc->fc_bytes_at_peak = fc_bytes;
         acc->fc_entries_at_peak = fc_entries;
+      }
+      // The encap/decap caches peak on their own clock (they only warm
+      // once overlay flows run), so they are tracked against their own
+      // occupancy peak rather than the conntrack one.
+      std::uint64_t oc_entries = 0;
+      std::uint64_t oc_bytes = 0;
+      for (const OverlayNetwork* n : *nets) {
+        const auto t = n->oncache_totals();
+        oc_entries += t.entries;
+        oc_bytes += t.state_bytes;
+      }
+      if (oc_entries > acc->oc_peak_entries) {
+        acc->oc_peak_entries = oc_entries;
+        acc->oc_bytes_at_peak = oc_bytes;
       }
       if (engp->now() + interval <= traffic_end) {
         engp->schedule_in(interval, [tick] { (*tick)(); });
@@ -483,8 +599,13 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
                                        kFlowStreamBase + std::uint64_t(k));
     (void)rng.uniform_int(0, std::max<std::uint64_t>(1, interarrival / 2));
 
-    int mode = k % 3;
+    // The overlay mode joins the rotation only when the knob asks for it,
+    // so the default config's flow schedule (and every simulated output)
+    // is byte-identical to the pre-overlay scenario.
+    const bool overlay_on = config.overlay_pairs_per_machine > 0;
+    int mode = k % (overlay_on ? 4 : 3);
     if (mode == 2 && pairs_of[std::size_t(cm)].empty()) mode = 1;
+    if (mode == 3 && ov_of[std::size_t(cm)].empty()) mode = 1;
 
     auto d = std::make_shared<ChurnFlow>();
     d->ordinal = k;
@@ -497,7 +618,16 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
                  : 0);
     d->rng = rng;
 
-    if (mode == 2) {
+    if (mode == 3) {
+      const auto& olist = ov_of[std::size_t(cm)];
+      const OverlayPair& op =
+          *ovpairs[std::size_t(olist[std::size_t(k / 4) % olist.size()])];
+      d->cli_stack = op.cli_frag->stack.get();
+      d->cli_app = op.cli_ctr->app_core();
+      d->cli_ip = op.cli_ip;
+      d->srv_ip = op.srv_ip;
+      d->srv_port = op.port;
+    } else if (mode == 2) {
       const auto& plist = pairs_of[std::size_t(cm)];
       const HostloPair& hp =
           *pairs[std::size_t(plist[std::size_t(k / 3) % plist.size()])];
@@ -607,6 +737,8 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
     out.conntrack_bytes_at_peak += a.ct_bytes_at_peak;
     out.flowcache_bytes_at_peak += a.fc_bytes_at_peak;
     out.flowcache_entries_at_peak += a.fc_entries_at_peak;
+    out.oncache_entries_at_peak += a.oc_peak_entries;
+    out.oncache_bytes_at_peak += a.oc_bytes_at_peak;
     for (const sim::TimePoint t : a.arrivals) sweep.emplace_back(t, 0);
     for (const sim::TimePoint t : a.completions) sweep.emplace_back(t, 1);
   }
@@ -636,6 +768,10 @@ MacroScaleResult run_macro_scale(const MacroScaleConfig& config) {
       *s.stream_delivered = 0;  // so a second stream on this pod adds 0
     }
     ++k;
+  }
+  for (const auto& op : ovpairs) {
+    const auto t = op->overlay->oncache_totals();
+    out.oncache_hits += t.egress_hits + t.ingress_hits;
   }
   out.events_total = conductor.total_events();
   out.per_shard_events = conductor.per_shard_events();

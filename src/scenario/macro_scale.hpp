@@ -21,7 +21,12 @@
 //                plus a few long-lived TCP streams through the same path;
 //   * BrFusion — pod NIC on the host bridge (UDP RR cross-rack);
 //   * Hostlo   — cross-VM pod on one machine (UDP RR, intra-host by
-//                construction).
+//                construction);
+//   * Overlay  — cross-VM pod pair tunneled through a per-pair VXLAN
+//                overlay (UDP RR, VM-to-VM through the host bridge),
+//                riding the ONCache-style encap/decap fast path when
+//                oncache_enabled (off by default: the knob defaults to
+//                zero pairs, leaving the run byte-identical).
 // Placement follows the Google-like trace, as in datacenter_macro.
 //
 // Determinism: identical simulated outputs at any shards/max_workers
@@ -58,6 +63,13 @@ struct MacroScaleConfig {
   int server_pods_per_machine = 2;
   /// Cross-VM Hostlo pods per machine (0 disables the Hostlo flow mode).
   int hostlo_pairs_per_machine = 1;
+  /// Cross-VM overlay (VXLAN) pod pairs per machine.  0 disables the
+  /// overlay flow mode entirely and keeps the run byte-identical to the
+  /// pre-overlay scenario.
+  int overlay_pairs_per_machine = 0;
+  /// Drive overlay pairs through the ONCache-style encap/decap fast path
+  /// (ignored when overlay_pairs_per_machine == 0).
+  bool oncache_enabled = true;
 
   // ---- churn -----------------------------------------------------------
   /// Ephemeral flows arriving open-loop over `arrival_window`.
@@ -104,6 +116,13 @@ struct MacroScaleResult {
   /// Live flowcache entries at those peaks (cached paths are
   /// per-direction, so this can exceed conntrack_peak_entries).
   std::uint64_t flowcache_entries_at_peak = 0;
+  /// Overlay encap/decap cache state at each machine's own oncache
+  /// occupancy peak (sampled at the same GC ticks; all zero when
+  /// overlay_pairs_per_machine == 0 or the fast path is off).
+  std::uint64_t oncache_entries_at_peak = 0;
+  std::uint64_t oncache_bytes_at_peak = 0;
+  /// Total encap + decap fast-path hits across all overlay caches.
+  std::uint64_t oncache_hits = 0;
   /// state_bytes_at_peak / conntrack_peak_entries: bytes of per-flow
   /// state per tracked flow (the compact-state headline metric).
   double state_bytes_per_flow = 0;

@@ -4,8 +4,9 @@
 
 namespace nestv::scenario {
 
-OverlayNetwork::OverlayNetwork(Testbed& bed, net::Ipv4Cidr subnet)
-    : bed_(&bed), subnet_(subnet) {}
+OverlayNetwork::OverlayNetwork(Testbed& bed, net::Ipv4Cidr subnet,
+                               OncacheMode oncache, std::uint32_t vni)
+    : bed_(&bed), subnet_(subnet), oncache_mode_(oncache), vni_(vni) {}
 
 OverlayNetwork::VmState& OverlayNetwork::state_for(vmm::Vm& vm) {
   auto it = states_.find(&vm);
@@ -16,8 +17,15 @@ OverlayNetwork::VmState& OverlayNetwork::state_for(vmm::Vm& vm) {
   auto& engine = bed_->engine();
   const auto& costs = bed_->costs();
 
-  state->bridge = std::make_unique<net::Bridge>(
-      engine, vm.name() + "/br-overlay", costs, /*guest_level=*/true);
+  if (oncache_mode_ == OncacheMode::kAttached) {
+    auto cached = std::make_unique<net::oncache::CachedBridge>(
+        engine, vm.name() + "/br-overlay", costs, /*guest_level=*/true);
+    state->cached_bridge = cached.get();
+    state->bridge = std::move(cached);
+  } else {
+    state->bridge = std::make_unique<net::Bridge>(
+        engine, vm.name() + "/br-overlay", costs, /*guest_level=*/true);
+  }
   state->bridge->set_cpu(&vm.softirq(), sim::CpuCategory::kSoft);
 
   // The VTEP rides the VM's uplink address.
@@ -25,10 +33,20 @@ OverlayNetwork::VmState& OverlayNetwork::state_for(vmm::Vm& vm) {
   assert(up >= 0 && "overlay requires a configured VM uplink");
   state->vtep_ip = vm.stack().iface_ip(up);
   state->vxlan = std::make_unique<net::VxlanDevice>(
-      engine, vm.name() + "/vxlan0", costs, vm.stack(), state->vtep_ip);
+      engine, vm.name() + "/vxlan0", costs, vm.stack(), state->vtep_ip,
+      vni_);
   state->vxlan->set_cpu(&vm.softirq(), sim::CpuCategory::kSoft);
-  net::Device::connect(*state->vxlan, 0, *state->bridge,
-                       state->bridge->add_port());
+  const int vxlan_port = state->bridge->add_port();
+  net::Device::connect(*state->vxlan, 0, *state->bridge, vxlan_port);
+  if (state->cached_bridge != nullptr) {
+    state->oncache = std::make_unique<net::oncache::OnCache>(
+        vm.stack(), costs, vni_);
+    state->oncache->set_local_vtep(state->vtep_ip);
+    state->oncache->set_uplink_ifindex(up);
+    state->cached_bridge->attach_oncache(state->oncache.get(), vxlan_port);
+    state->vxlan->set_oncache(state->oncache.get());
+    vm.stack().attach_oncache(state->oncache.get());
+  }
   // The overlay guest forwards + encapsulates: same service-time noise as
   // the NAT-forwarding guests (fig 10's variable Overlay latency).
   vm.stack().set_forward_jitter(
@@ -78,6 +96,37 @@ void OverlayNetwork::finalize() {
       state->vxlan->add_flood_target(other->vtep_ip);
     }
   }
+}
+
+void OverlayNetwork::set_oncache_enabled(bool on) {
+  for (auto& [vm, state] : states_) {
+    (void)vm;
+    if (state->oncache) state->oncache->set_enabled(on);
+  }
+}
+
+net::oncache::OnCache* OverlayNetwork::oncache_for(vmm::Vm& vm) {
+  const auto it = states_.find(&vm);
+  return it != states_.end() ? it->second->oncache.get() : nullptr;
+}
+
+net::VxlanDevice* OverlayNetwork::vxlan_for(vmm::Vm& vm) {
+  const auto it = states_.find(&vm);
+  return it != states_.end() ? it->second->vxlan.get() : nullptr;
+}
+
+OverlayNetwork::OncacheTotals OverlayNetwork::oncache_totals() const {
+  OncacheTotals t;
+  for (const auto& [vm, state] : states_) {
+    (void)vm;
+    if (!state->oncache) continue;
+    t.egress_hits += state->oncache->egress_hits();
+    t.ingress_hits += state->oncache->ingress_hits();
+    t.invalidations += state->oncache->invalidations();
+    t.entries += state->oncache->size();
+    t.state_bytes += state->oncache->state_bytes();
+  }
+  return t;
 }
 
 }  // namespace nestv::scenario

@@ -3,6 +3,13 @@
 // compares Hostlo against ("Overlay: Docker's network overlay solution,
 // which is the only currently viable approach for cross-node pod
 // deployment", section 5.1).
+//
+// Each VM's overlay bridge is a net::oncache::CachedBridge wired to a
+// per-VM OnCache (the ONCache-style encap/decap fast path) unless
+// constructed with OncacheMode::kDetached.  The cache starts *disabled*;
+// attached-but-disabled is bit-identical to the detached topology (the
+// bench abl_oncache gates that equivalence at delta 0), and
+// set_oncache_enabled(true) flips the fast path on at runtime.
 #pragma once
 
 #include <map>
@@ -11,6 +18,7 @@
 
 #include "container/pod.hpp"
 #include "net/bridge.hpp"
+#include "net/oncache.hpp"
 #include "net/veth.hpp"
 #include "net/vxlan.hpp"
 #include "scenario/testbed.hpp"
@@ -19,9 +27,15 @@ namespace nestv::scenario {
 
 class OverlayNetwork {
  public:
+  /// kAttached wires a CachedBridge + OnCache per VM (cache disabled until
+  /// set_oncache_enabled); kDetached builds the plain pre-oncache topology.
+  enum class OncacheMode { kDetached, kAttached };
+
   OverlayNetwork(Testbed& bed,
                  net::Ipv4Cidr subnet = net::Ipv4Cidr(
-                     net::Ipv4Address(10, 99, 0, 0), 24));
+                     net::Ipv4Address(10, 99, 0, 0), 24),
+                 OncacheMode oncache = OncacheMode::kAttached,
+                 std::uint32_t vni = 0);
 
   struct Attachment {
     int ifindex = -1;
@@ -37,10 +51,30 @@ class OverlayNetwork {
   /// Call after all fragments are attached.
   void finalize();
 
+  /// Flips the encap/decap fast path on every member VM's cache (no-op
+  /// when constructed kDetached).  Disabling flushes the caches.
+  void set_oncache_enabled(bool on);
+
+  /// Per-VM handles (null when the VM is not a member / mode kDetached).
+  [[nodiscard]] net::oncache::OnCache* oncache_for(vmm::Vm& vm);
+  [[nodiscard]] net::VxlanDevice* vxlan_for(vmm::Vm& vm);
+
+  /// Aggregates across member VMs (macro-scale peak-state sampling).
+  struct OncacheTotals {
+    std::uint64_t egress_hits = 0;
+    std::uint64_t ingress_hits = 0;
+    std::uint64_t invalidations = 0;
+    std::size_t entries = 0;
+    std::size_t state_bytes = 0;
+  };
+  [[nodiscard]] OncacheTotals oncache_totals() const;
+
  private:
   struct VmState {
     vmm::Vm* vm = nullptr;
     std::unique_ptr<net::Bridge> bridge;
+    net::oncache::CachedBridge* cached_bridge = nullptr;  ///< view of bridge
+    std::unique_ptr<net::oncache::OnCache> oncache;
     std::unique_ptr<net::VxlanDevice> vxlan;
     std::vector<std::unique_ptr<net::VethPair>> veths;
     net::Ipv4Address vtep_ip;
@@ -54,6 +88,8 @@ class OverlayNetwork {
 
   Testbed* bed_;
   net::Ipv4Cidr subnet_;
+  OncacheMode oncache_mode_;
+  std::uint32_t vni_;
   std::map<vmm::Vm*, std::unique_ptr<VmState>> states_;
   std::vector<Member> members_;
   std::uint32_t next_ip_ = 2;

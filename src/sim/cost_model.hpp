@@ -158,6 +158,20 @@ struct CostModel {
   double vxlan_copy_byte = 0.02;
   int vxlan_header_bytes = 50;     ///< outer Ethernet+IP+UDP+VXLAN
 
+  // ---- ONCache overlay fast path (src/net/oncache) ----------------------
+  /// Fused per-packet egress charge on a cache hit: replaces the inner
+  /// bridge forward + VXLAN encap + l4_segment + OUTPUT/POSTROUTING hooks
+  /// + route lookup of the slow chain (~2.5-3us across ~5 softirq events)
+  /// with one event, ONCache-style.  The per-byte encap copy still applies.
+  Duration oncache_encap_hit = 650;
+  /// Fused per-packet ingress charge: replaces PREROUTING/INPUT + UDP
+  /// demux + VXLAN decap + inner bridge forward.
+  Duration oncache_decap_hit = 550;
+  /// One-time charge for resolving + installing a cache entry.
+  Duration oncache_insert = 400;
+  /// Entries per direction table (egress and ingress size independently).
+  std::uint32_t oncache_capacity = 4096;
+
   // ---- segmentation offload --------------------------------------------
   // Effective segment size seen by per-packet costs.  TSO/GRO lets the
   // virtio path move ~16KB super-frames; the in-guest loopback device has a

@@ -40,6 +40,19 @@ inline bool force_virtio_batching = false;
 /// flowcache-off).
 inline bool skip_flowcache_rule_invalidation = false;
 
+/// FullStack ignores netfilter rule-table mutations for the *overlay*
+/// fast-path cache (net/oncache) while still flushing the flowcache: a
+/// DROP rule landing on the outer VXLAN flow no longer flushes the cached
+/// encap/decap entries, so cached overlay traffic keeps bypassing the
+/// hooks.  Caught by the oncache oracle (oncache-on diverges semantically
+/// from oncache-off).
+inline bool skip_oncache_rule_invalidation = false;
+
+/// VxlanDevice::add_remote skips the cached-entry flush when an inner MAC
+/// moves to a new VTEP: egress entries keep encapsulating toward the old
+/// endpoint.  Exercised by the oncache unit tests (stale-VTEP delivery).
+inline bool skip_oncache_vtep_invalidation = false;
+
 /// FastPathStack duplicates every Nth locally-delivered UDP datagram — a
 /// classic fast-path bug class (retry/queue logic delivering a payload
 /// twice) that keeps the run quiescing (closed-loop RR waves still
@@ -53,6 +66,8 @@ inline void reset() {
   unkeyed_wire_delivery = false;
   force_virtio_batching = false;
   skip_flowcache_rule_invalidation = false;
+  skip_oncache_rule_invalidation = false;
+  skip_oncache_vtep_invalidation = false;
   faststack_dup_udp_delivery = false;
 }
 

@@ -88,7 +88,10 @@ TEST(FuzzPlan, SoundnessRules) {
     ASSERT_FALSE(plan.flows.empty());
     for (const fuzz::FlowPlan& f : plan.flows) {
       ASSERT_EQ(int(f.wave_work.size()), plan.waves);
-      if (f.mode == fuzz::FlowMode::kHostloRr) {
+      if (f.mode == fuzz::FlowMode::kHostloRr ||
+          f.mode == fuzz::FlowMode::kOverlayRr) {
+        // Hostlo spans two VMs of one machine; the overlay pair tunnels
+        // between two VMs of one machine the same way.
         EXPECT_EQ(f.cli_machine, f.srv_machine);
       } else {
         EXPECT_NE(f.cli_machine, f.srv_machine);
@@ -98,10 +101,14 @@ TEST(FuzzPlan, SoundnessRules) {
       ASSERT_GE(a.boundary, 0);
       ASSERT_LT(a.boundary, plan.waves - 1);  // boundaries between waves
       if (a.kind == fuzz::ActionKind::kAddDropRule) {
-        // DROP only on UDP flows through a forwarding host stack.
+        // DROP only where the verdict is deterministic: the forwarding
+        // host stack of a BrFusion flow, or the VTEP-datagram INPUT
+        // chain of an overlay flow's server VM.
         ASSERT_GE(a.flow, 0);
-        EXPECT_EQ(plan.flows[std::size_t(a.flow)].mode,
-                  fuzz::FlowMode::kBrFusionRr);
+        const auto mode = plan.flows[std::size_t(a.flow)].mode;
+        EXPECT_TRUE(mode == fuzz::FlowMode::kBrFusionRr ||
+                    mode == fuzz::FlowMode::kOverlayRr)
+            << "drop rule targets flow mode " << int(mode);
       }
       if (a.kind == fuzz::ActionKind::kNicUnplug) {
         // Unplugged flows are retired: no work after the boundary.
@@ -205,6 +212,20 @@ TEST(FuzzOracle, FlowcacheOracleCatchesSkippedInvalidation) {
   }
   EXPECT_TRUE(caught)
       << "no seed in 0..40 exposed skipped rule invalidation";
+}
+
+TEST(FuzzOracle, OncacheOracleCatchesSkippedInvalidation) {
+  HookGuard guard;
+  sim::test_hooks::skip_oncache_rule_invalidation = true;
+  bool caught = false;
+  for (std::uint64_t seed = 0; seed < 40 && !caught; ++seed) {
+    fuzz::CaseSpec spec;
+    spec.seed = seed;
+    spec.oracle_mask = fuzz::kOracleOncache;
+    caught = fuzz::run_case(spec).failed("oncache");
+  }
+  EXPECT_TRUE(caught)
+      << "no seed in 0..40 exposed skipped oncache invalidation";
 }
 
 // ---- minimization ---------------------------------------------------------
