@@ -37,6 +37,7 @@
 #include <list>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -293,13 +294,51 @@ double max_delta(const MacroScaleResult& a, const MacroScaleResult& b) {
 
 void print_point(const MacroScaleResult& r, double delta) {
   std::printf(
-      "  shards=%-2d workers=%-2u events=%llu  epochs=%llu  posts=%llu  "
-      "wall=%.3fs  ev/s=%.3g  delta=%.17g\n",
+      "  shards=%-2d workers=%-2u events=%llu  epochs=%llu (%llu fused)  "
+      "posts=%llu  wall=%.3fs  ev/s=%.3g  delta=%.17g\n",
       r.shards, r.worker_threads,
       static_cast<unsigned long long>(r.events_total),
       static_cast<unsigned long long>(r.epochs),
+      static_cast<unsigned long long>(r.fused_epochs),
       static_cast<unsigned long long>(r.cross_posts), r.wall_seconds,
       events_per_sec(r), delta);
+}
+
+std::uint64_t sum_u64(const std::vector<std::uint64_t>& v) {
+  std::uint64_t s = 0;
+  for (const std::uint64_t x : v) s += x;
+  return s;
+}
+
+nestv::bench::JsonReport::ConductorInfo conductor_info(
+    const MacroScaleResult& r) {
+  nestv::bench::JsonReport::ConductorInfo info;
+  info.epochs = r.epochs;
+  info.fused_epochs = r.fused_epochs;
+  info.cross_posts = r.cross_posts;
+  info.drained_posts = r.drained_posts;
+  info.idle_windows = r.idle_windows;
+  info.barrier_wait_ns = r.barrier_wait_ns;
+  return info;
+}
+
+/// Wall-clock speedup numbers only mean something when every worker can
+/// have a core.  When the host has fewer hardware threads than the widest
+/// sweep point has workers, say so and record it next to the wall metrics
+/// ("wall" in the name keeps it out of the determinism gate, like the
+/// numbers it annotates).
+bool note_oversubscription(nestv::bench::JsonReport& report, int shards) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool oversubscribed = hw != 0 && hw < static_cast<unsigned>(shards);
+  if (oversubscribed) {
+    std::printf(
+        "note: %d workers on %u hardware threads — wall speedups below "
+        "measure oversubscription, not scaling\n",
+        shards, hw);
+  }
+  report.add("wall_oversubscribed_s" + std::to_string(shards),
+             oversubscribed ? 1.0 : 0.0);
+  return oversubscribed;
 }
 
 void add_sim_outputs(nestv::bench::JsonReport& report,
@@ -414,8 +453,10 @@ int main(int argc, char** argv) {
     bench::JsonReport report("abl_macro_scale", args.seed);
     report.set_execution_info(r.shards, r.worker_threads,
                               r.per_shard_events);
+    report.set_conductor_info(conductor_info(r));
     add_sim_outputs(report, r);
     add_state_metrics(report, r);
+    note_oversubscription(report, r.shards);
     report.add("wall_seconds", r.wall_seconds);
     report.add("events_per_sec_wall", events_per_sec(r));
     report.write();
@@ -445,19 +486,26 @@ int main(int argc, char** argv) {
   const auto& widest = results.back();
   report.set_execution_info(widest.shards, widest.worker_threads,
                             widest.per_shard_events);
+  report.set_conductor_info(conductor_info(widest));
 
   // Simulated outputs of the shards=1 baseline: deterministic, gated.
   add_sim_outputs(report, base_r);
   add_state_metrics(report, base_r);
   // The acceptance gate: CI runs check_bench.py --require-zero on this.
   report.add("shards1_equivalence_max_delta", equivalence_delta);
-  // Cross-shard traffic and epoch counts are deterministic per shard
-  // count (they describe the simulated fabric, not the host).
+  // Cross-shard traffic and epoch-loop counts are deterministic per shard
+  // count (they describe the simulated fabric and the conductor's window
+  // schedule, not the host).
   for (const auto& r : results) {
     if (r.shards == 1) continue;
     const std::string suffix = "_s" + std::to_string(r.shards);
     report.add("cross_posts" + suffix, static_cast<double>(r.cross_posts));
     report.add("epochs" + suffix, static_cast<double>(r.epochs));
+    report.add("fused_epochs" + suffix, static_cast<double>(r.fused_epochs));
+    report.add("drained_posts" + suffix,
+               static_cast<double>(r.drained_posts));
+    report.add("idle_windows" + suffix,
+               static_cast<double>(sum_u64(r.idle_windows)));
   }
   // Wall metrics: host-dependent, "wall" in the name exempts them from
   // the determinism gate.
@@ -471,6 +519,7 @@ int main(int argc, char** argv) {
     const std::string suffix = "_s" + std::to_string(r.shards);
     report.add("speedup_wall" + suffix,
                events_per_sec(r) / events_per_sec(base_r));
+    note_oversubscription(report, r.shards);
   }
   std::printf(
       "\nequivalence max delta over sweep: %.17g (must be exactly 0)\n",

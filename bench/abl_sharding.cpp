@@ -78,13 +78,26 @@ double max_delta(const DatacenterMacroResult& a,
 
 void print_point(const DatacenterMacroResult& r, double delta) {
   std::printf(
-      "  shards=%d  workers=%u  events=%llu  epochs=%llu  posts=%llu  "
-      "wall=%.3fs  ev/s=%.3g  delta=%.17g\n",
+      "  shards=%d  workers=%u  events=%llu  epochs=%llu (%llu fused)  "
+      "posts=%llu  wall=%.3fs  ev/s=%.3g  delta=%.17g\n",
       r.shards, r.worker_threads,
       static_cast<unsigned long long>(r.events_total),
       static_cast<unsigned long long>(r.epochs),
+      static_cast<unsigned long long>(r.fused_epochs),
       static_cast<unsigned long long>(r.cross_posts), r.wall_seconds,
       events_per_sec(r), delta);
+}
+
+nestv::bench::JsonReport::ConductorInfo conductor_info(
+    const DatacenterMacroResult& r) {
+  nestv::bench::JsonReport::ConductorInfo info;
+  info.epochs = r.epochs;
+  info.fused_epochs = r.fused_epochs;
+  info.cross_posts = r.cross_posts;
+  info.drained_posts = r.drained_posts;
+  info.idle_windows = r.idle_windows;
+  info.barrier_wait_ns = r.barrier_wait_ns;
+  return info;
 }
 
 void add_sim_outputs(nestv::bench::JsonReport& report,
@@ -114,6 +127,7 @@ int main(int argc, char** argv) {
     bench::JsonReport report("abl_sharding", args.seed);
     report.set_execution_info(r.shards, r.worker_threads,
                               r.per_shard_events);
+    report.set_conductor_info(conductor_info(r));
     add_sim_outputs(report, r);
     report.add("wall_seconds", r.wall_seconds);
     report.add("events_per_sec_wall", events_per_sec(r));
@@ -137,18 +151,21 @@ int main(int argc, char** argv) {
   const auto& widest = results.back();
   report.set_execution_info(widest.shards, widest.worker_threads,
                             widest.per_shard_events);
+  report.set_conductor_info(conductor_info(widest));
 
   // Simulated outputs of the shards=1 baseline: deterministic, gated.
   add_sim_outputs(report, base);
   // The acceptance gate: CI runs check_bench.py --require-zero on this.
   report.add("shards1_equivalence_max_delta", equivalence_delta);
-  // Cross-shard traffic and epoch counts are deterministic per shard
-  // count (they describe the simulated fabric, not the host).
+  // Cross-shard traffic and epoch-loop counts are deterministic per shard
+  // count (they describe the simulated fabric and the conductor's window
+  // schedule, not the host).
   for (const auto& r : results) {
     if (r.shards == 1) continue;
     const std::string suffix = "_s" + std::to_string(r.shards);
     report.add("cross_posts" + suffix, static_cast<double>(r.cross_posts));
     report.add("epochs" + suffix, static_cast<double>(r.epochs));
+    report.add("fused_epochs" + suffix, static_cast<double>(r.fused_epochs));
   }
   // Wall metrics: host-dependent, "wall" in the name exempts them from
   // the determinism gate.

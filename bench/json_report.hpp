@@ -33,6 +33,23 @@ class JsonReport {
     metrics_.push_back(Metric{metric, value, paper_target});
   }
 
+  /// Conductor execution counters beyond the shard/worker shape: the
+  /// epoch-loop telemetry ShardedConductor::stats() reports.  Everything
+  /// here describes *how* the run executed, not the simulated system;
+  /// barrier_wait_ns is wall-clock and idle_windows depends on the window
+  /// schedule, so none of it is gated — check_bench.py folds it into the
+  /// BENCH_summary.json "execution" section only.
+  struct ConductorInfo {
+    std::uint64_t epochs = 0;
+    std::uint64_t fused_epochs = 0;
+    std::uint64_t cross_posts = 0;
+    std::uint64_t drained_posts = 0;
+    /// Per-shard count of windows that executed zero events.
+    std::vector<std::uint64_t> idle_windows;
+    /// Per-worker nanoseconds spent waiting at epoch barriers.
+    std::vector<std::uint64_t> barrier_wait_ns;
+  };
+
   /// Records how the simulation executed: conductor shards, worker
   /// threads, and events per shard.  Serialized as top-level fields (not
   /// metrics) because they describe the execution, not the simulated
@@ -44,6 +61,13 @@ class JsonReport {
     shards_ = shards;
     worker_threads_ = worker_threads;
     per_shard_events_ = std::move(per_shard_events);
+  }
+
+  /// Optionally attaches the conductor's epoch-loop counters; serialized
+  /// as a nested "execution" object.
+  void set_conductor_info(ConductorInfo info) {
+    conductor_ = std::move(info);
+    have_conductor_ = true;
   }
 
   /// Writes BENCH_<name>.json into the working directory.  The file is
@@ -68,6 +92,20 @@ class JsonReport {
                    static_cast<unsigned long long>(per_shard_events_[i]));
     }
     std::fprintf(f, "],\n");
+    if (have_conductor_) {
+      std::fprintf(f, "  \"execution\": {\n");
+      std::fprintf(f, "    \"epochs\": %llu,\n",
+                   static_cast<unsigned long long>(conductor_.epochs));
+      std::fprintf(f, "    \"fused_epochs\": %llu,\n",
+                   static_cast<unsigned long long>(conductor_.fused_epochs));
+      std::fprintf(f, "    \"cross_posts\": %llu,\n",
+                   static_cast<unsigned long long>(conductor_.cross_posts));
+      std::fprintf(f, "    \"drained_posts\": %llu,\n",
+                   static_cast<unsigned long long>(conductor_.drained_posts));
+      write_u64_array(f, "idle_windows", conductor_.idle_windows, ",\n");
+      write_u64_array(f, "barrier_wait_ns", conductor_.barrier_wait_ns, "\n");
+      std::fprintf(f, "  },\n");
+    }
     std::fprintf(f, "  \"metrics\": [\n");
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const Metric& m = metrics_[i];
@@ -100,6 +138,17 @@ class JsonReport {
     double target = std::nan("");
   };
 
+  static void write_u64_array(std::FILE* f, const char* key,
+                              const std::vector<std::uint64_t>& values,
+                              const char* trailer) {
+    std::fprintf(f, "    \"%s\": [", key);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::fprintf(f, "%s%llu", i ? ", " : "",
+                   static_cast<unsigned long long>(values[i]));
+    }
+    std::fprintf(f, "]%s", trailer);
+  }
+
   /// JSON has no NaN/Inf literals; clamp those to null.
   static std::string number(double v) {
     if (std::isnan(v) || std::isinf(v)) return "null";
@@ -113,6 +162,8 @@ class JsonReport {
   int shards_ = 1;
   unsigned worker_threads_ = 1;
   std::vector<std::uint64_t> per_shard_events_;
+  ConductorInfo conductor_;
+  bool have_conductor_ = false;
   std::vector<Metric> metrics_;
   bool written_ = false;
 };

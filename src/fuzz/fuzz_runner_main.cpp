@@ -4,8 +4,8 @@
 // fails; --minimize additionally shrinks each failure and emits a
 // self-contained regression test into the corpus directory.
 //
-// --inject-bug {shards|batch|flowcache|faststack|oncache} flips the
-// matching test hook and
+// --inject-bug {shards|lookahead|batch|flowcache|faststack|oncache} flips
+// the matching test hook and
 // INVERTS the exit semantics: the run succeeds (exit 0) only if at least
 // one seed in the range makes the oracle detect the injected divergence.
 // This is how CI proves the fuzzer can actually catch the bug classes it
@@ -36,8 +36,8 @@ struct Options {
   bool minimize = false;
   bool quiet = false;
   std::string out_dir = "tests/fuzz_corpus";
-  std::string inject;  // "", "shards", "batch", "flowcache", "faststack",
-                       // "oncache"
+  std::string inject;  // "", "shards", "lookahead", "batch", "flowcache",
+                       // "faststack", "oncache"
 };
 
 bool parse_seeds(const std::string& arg, Options& opt) {
@@ -57,7 +57,8 @@ bool parse_seeds(const std::string& arg, Options& opt) {
                "fuzz_runner: %s\n"
                "usage: fuzz_runner [--seeds A..B] [--time-budget S] "
                "[--minimize] [--out-dir DIR] [--inject-bug "
-               "shards|batch|flowcache|faststack|oncache] [--quiet]\n",
+               "shards|lookahead|batch|flowcache|faststack|oncache] "
+               "[--quiet]\n",
                msg);
   std::exit(2);
 }
@@ -66,6 +67,8 @@ bool apply_injection(const std::string& name) {
   namespace hooks = nestv::sim::test_hooks;
   if (name == "shards") {
     hooks::unkeyed_wire_delivery = true;
+  } else if (name == "lookahead") {
+    hooks::lookahead_matrix_overrun = true;
   } else if (name == "batch") {
     hooks::force_virtio_batching = true;
   } else if (name == "flowcache") {
@@ -82,6 +85,7 @@ bool apply_injection(const std::string& name) {
 
 std::uint32_t injection_oracle_mask(const std::string& name) {
   if (name == "shards") return nestv::fuzz::kOracleShards;
+  if (name == "lookahead") return nestv::fuzz::kOracleShards;
   if (name == "batch") return nestv::fuzz::kOracleBatch;
   if (name == "flowcache") return nestv::fuzz::kOracleFlowcache;
   if (name == "faststack") return nestv::fuzz::kOracleBackend;
@@ -90,9 +94,12 @@ std::uint32_t injection_oracle_mask(const std::string& name) {
 }
 
 /// The oracle expected to catch an injected bug class (the fast-path
-/// duplication bug surfaces in the "backend" oracle).
+/// duplication bug surfaces in the "backend" oracle; a lookahead-matrix
+/// overrun surfaces as a shards-oracle divergence).
 std::string injection_oracle_name(const std::string& name) {
-  return name == "faststack" ? "backend" : name;
+  if (name == "faststack") return "backend";
+  if (name == "lookahead") return "shards";
+  return name;
 }
 
 }  // namespace

@@ -102,6 +102,13 @@ struct FuzzPlan {
   // ---- shape draws for this seed (consumed by the oracle pairing) ------
   int alt_shards = 2;        ///< shards oracle: shards=alt vs shards=1
   unsigned alt_workers = 2;
+  /// Conductor shape of the sharded runs: scalar-fallback windows vs the
+  /// per-pair lookahead matrix, and the spine tier stacked on shard 0 vs
+  /// round-robined across shards.  Drawn from a dedicated sub-stream so
+  /// every pre-existing seed's plan (and alt_shards etc. above) is
+  /// unchanged.
+  bool alt_uniform_window = false;
+  bool alt_spread_spines = true;
   std::uint32_t hostile_napi = 3;      ///< batch=1 knob pair
   sim::Duration hostile_kick = 99999;  ///< batch=1 knob pair
   std::uint32_t batch = 16;            ///< batched semantic run

@@ -157,6 +157,7 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
         two_tier ? vmm::HierarchicalFabric::min_link_latency(costs)
                  : costs.fabric_hop_latency;
     sim::ShardedConductor conductor(shape.shards, lookahead, shape.workers);
+    conductor.set_uniform_window(shape.uniform_window);
 
     // ---- machines + fabric ----------------------------------------------
     const int m_count = plan.machines;
@@ -181,6 +182,7 @@ WorldResult run_world(const FuzzPlan& plan, const RunShape& shape,
       vmm::FabricConfig fc;
       fc.machines_per_rack = plan.machines_per_rack;
       fc.spines = plan.spines;
+      fc.distribute_spines = shape.distribute_spines;
       tiered = std::make_unique<vmm::HierarchicalFabric>(
           conductor.shard(0), beds[0]->costs(), fc, &conductor);
       for (auto& bed : beds) tiered->attach(bed->machine());

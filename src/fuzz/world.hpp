@@ -38,6 +38,14 @@ namespace nestv::fuzz {
 struct RunShape {
   int shards = 1;
   unsigned workers = 1;
+  /// Forces the conductor's scalar-fallback windows instead of the
+  /// per-pair lookahead matrix the world's wires feed it.  Pure execution
+  /// shape: windows change, deliveries must not.
+  bool uniform_window = false;
+  /// Round-robins the fabric's spine tier across shards instead of
+  /// stacking it on shard 0 (FabricConfig::distribute_spines).  Placement
+  /// is invisible in the results by the keyed-delivery contract.
+  bool distribute_spines = true;
   std::uint32_t batch = 1;    ///< CostModel::batch_size
   std::uint32_t napi = 0;     ///< overrides napi_budget when non-zero
   sim::Duration kick = -1;    ///< overrides virtio_kick when >= 0

@@ -63,6 +63,10 @@ void Device::connect_wire(sim::ShardedConductor* conductor, Device& a,
   if (shard_a == shard_b) return;  // same shard: plain scheduling suffices
   assert(wire_latency >= conductor->lookahead() &&
          "cross-shard wire shorter than the conductor's lookahead");
+  // Feed the conductor's per-pair lookahead matrix: this wire bounds how
+  // soon either shard can influence the other.
+  conductor->note_cross_link(shard_a, shard_b, wire_latency);
+  conductor->note_cross_link(shard_b, shard_a, wire_latency);
   sa.fabric = conductor;
   sa.self_shard = shard_a;
   sa.peer_shard = shard_b;

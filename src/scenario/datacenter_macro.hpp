@@ -67,6 +67,14 @@ struct DatacenterMacroResult {
   std::vector<std::uint64_t> per_shard_events;
   std::uint64_t epochs = 0;
   std::uint64_t cross_posts = 0;
+  /// Epochs whose drain barrier was skipped (no cross-shard mail posted).
+  std::uint64_t fused_epochs = 0;
+  /// Mail items delivered out of cross-shard boxes.
+  std::uint64_t drained_posts = 0;
+  /// Per-shard count of epoch windows that executed zero events.
+  std::vector<std::uint64_t> idle_windows;
+  /// Per-worker barrier wait (wall clock: host-dependent, never gated).
+  std::vector<std::uint64_t> barrier_wait_ns;
   double wall_seconds = 0;  ///< host wall clock of the traffic phase
 };
 

@@ -9,10 +9,11 @@
 // restore them to false.
 //
 // The flags are plain (non-atomic) bools: they are toggled only while no
-// simulation is running, and a sharded run's worker threads are created
-// after the toggle and joined before the next one (ShardedConductor spawns
-// and joins its workers inside every run_until call), so the conductor's
-// barriers order the writes.
+// simulation is running, and a sharded run's worker threads are spawned
+// after the toggle and joined before the next one (ShardedConductor's
+// persistent pool starts on the first multi-shard run_until after
+// construction and joins in the destructor, and each world builds its own
+// conductor), so thread creation/join orders the writes.
 #pragma once
 
 namespace nestv::sim::test_hooks {
@@ -53,6 +54,15 @@ inline bool skip_oncache_rule_invalidation = false;
 /// endpoint.  Exercised by the oncache unit tests (stale-VTEP delivery).
 inline bool skip_oncache_vtep_invalidation = false;
 
+/// LookaheadMatrix::finalize doubles every closed bound — the matrix
+/// understates how soon a neighbour can interfere, so conductor windows
+/// overrun true cross-shard arrival times.  Frames then land in a shard's
+/// past; the engine clamps them to "now" and they fire late, which the
+/// shards oracle detects as a digest divergence against the shards=1
+/// baseline.  This is the bug class a miscomputed lookahead entry (or a
+/// missed note_cross_link) would introduce.
+inline bool lookahead_matrix_overrun = false;
+
 /// FastPathStack duplicates every Nth locally-delivered UDP datagram — a
 /// classic fast-path bug class (retry/queue logic delivering a payload
 /// twice) that keeps the run quiescing (closed-loop RR waves still
@@ -68,6 +78,7 @@ inline void reset() {
   skip_flowcache_rule_invalidation = false;
   skip_oncache_rule_invalidation = false;
   skip_oncache_vtep_invalidation = false;
+  lookahead_matrix_overrun = false;
   faststack_dup_udp_delivery = false;
 }
 

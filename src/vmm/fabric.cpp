@@ -18,10 +18,18 @@ HierarchicalFabric::HierarchicalFabric(sim::Engine& engine,
         "HierarchicalFabric: need machines_per_rack >= 1 and spines >= 1");
   }
   for (int s = 0; s < config_.spines; ++s) {
+    // Round-robin the spine tier across shards: with every spine on one
+    // engine, all cross-rack traffic serializes through that shard (and
+    // its neighbours' windows collapse to one spine-link hop).  Keyed
+    // wire delivery makes the placement invisible in the results.
+    sim::Engine& home =
+        (config_.distribute_spines && conductor != nullptr)
+            ? conductor->shard(s % conductor->shards())
+            : engine;
     // Spine salt offset keeps the (unused today) spine hash domain
     // disjoint from ToR salts should spines ever gain uplink groups.
     spines_.push_back(std::make_unique<net::FabricSwitch>(
-        engine, "fabric/spine" + std::to_string(s), costs, directory_,
+        home, "fabric/spine" + std::to_string(s), costs, directory_,
         /*ecmp_salt=*/0x5350u + static_cast<std::uint32_t>(s)));
   }
 }

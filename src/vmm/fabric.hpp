@@ -11,8 +11,9 @@
 //     machine --(fabric_hop_latency)--> ToR --(spine_link_latency)--> spine
 //
 // Each rack's ToR lives on the shard of the rack's first machine, so
-// intra-rack traffic never crosses shards; spines live on the engine given
-// to the constructor (conventionally shard 0).  Cross-rack frames take
+// intra-rack traffic never crosses shards; spines round-robin across the
+// conductor's shards (FabricConfig::distribute_spines; without a conductor
+// they live on the engine given to the constructor).  Cross-rack frames take
 // machine -> ToR -> spine -> ToR -> machine, with the spine chosen per
 // flow by the ToR's deterministic ECMP hash (net/fabric_switch.hpp) —
 // multi-path routing that resolves identically at any shard/worker count.
@@ -44,13 +45,21 @@ struct FabricConfig {
   net::Ipv4Cidr subnet = net::Ipv4Cidr(net::Ipv4Address(10, 10, 0, 0), 16);
   int machines_per_rack = 16;
   int spines = 2;
+  /// Round-robin spines across conductor shards instead of stacking the
+  /// whole tier on the constructor's engine.  Placement is invisible in
+  /// the results (keyed wire delivery), but hosting every spine on one
+  /// shard turns that shard into a serialization hotspot at scale.  Only
+  /// meaningful with a conductor; the fuzz execution shapes sample both
+  /// settings.
+  bool distribute_spines = true;
 };
 
 class HierarchicalFabric {
  public:
-  /// `engine` hosts the spine tier.  With a `conductor`, machines may live
-  /// on any shard (each rack's ToR joins its first machine's shard);
-  /// without one every device must share `engine`.
+  /// `engine` hosts the spine tier when spines are not distributed (no
+  /// conductor, or distribute_spines off).  With a `conductor`, machines
+  /// may live on any shard (each rack's ToR joins its first machine's
+  /// shard); without one every device must share `engine`.
   HierarchicalFabric(sim::Engine& engine, const sim::CostModel& costs,
                      FabricConfig config = {},
                      sim::ShardedConductor* conductor = nullptr);

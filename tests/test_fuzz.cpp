@@ -187,6 +187,26 @@ TEST(FuzzOracle, ShardsOracleCatchesUnkeyedWireDelivery) {
       << "no seed in 0..20 exposed unkeyed wire delivery";
 }
 
+TEST(FuzzOracle, ShardsOracleCatchesLookaheadMatrixOverrun) {
+  // A lookahead matrix that understates neighbour influence (every closed
+  // bound doubled) lets conductor windows overrun true cross-shard
+  // arrivals: frames land in a shard's past, are clamped to "now", and
+  // fire late.  The shards=1 baseline has no conductor windows, so the
+  // strict digest diverges.  Seeds whose shape draw forces the scalar
+  // fallback don't consult the matrix — the scan just skips past them.
+  HookGuard guard;
+  sim::test_hooks::lookahead_matrix_overrun = true;
+  bool caught = false;
+  for (std::uint64_t seed = 0; seed < 40 && !caught; ++seed) {
+    fuzz::CaseSpec spec;
+    spec.seed = seed;
+    spec.oracle_mask = fuzz::kOracleShards;
+    caught = fuzz::run_case(spec).failed("shards");
+  }
+  EXPECT_TRUE(caught)
+      << "no seed in 0..40 exposed the lookahead-matrix overrun";
+}
+
 TEST(FuzzOracle, BatchOracleCatchesForcedBatching) {
   HookGuard guard;
   sim::test_hooks::force_virtio_batching = true;

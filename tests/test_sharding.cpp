@@ -8,12 +8,17 @@
 // scenario across shard and worker counts.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "scenario/datacenter_macro.hpp"
+#include "scenario/macro_scale.hpp"
 #include "sim/sharded_conductor.hpp"
 
 namespace nestv {
@@ -117,6 +122,166 @@ TEST(ShardedConductor, WorkerCountDoesNotChangeDelivery) {
   EXPECT_EQ(one, run(4));
 }
 
+// ---- lookahead matrix ---------------------------------------------------
+
+constexpr sim::TimePoint kNever = std::numeric_limits<sim::TimePoint>::max();
+
+TEST(LookaheadMatrix, DegenerateSingleShardUsesScalarCycle) {
+  sim::LookaheadMatrix m(1, 1000);
+  m.finalize();
+  EXPECT_FALSE(m.has_links());
+  EXPECT_EQ(m.bound(0, 0), 2000u);
+  const sim::TimePoint next[] = {500};
+  // The self-pair cycle is the only constraint: 500 + 2000 - 1.
+  EXPECT_EQ(m.window_end(0, next, 100000), 2499u);
+  EXPECT_EQ(m.window_end(0, next, 1200), 1200u);  // deadline clamps
+}
+
+TEST(LookaheadMatrix, AsymmetricPairBoundsAndWindows) {
+  sim::LookaheadMatrix m(2, 1);
+  m.note_link(0, 1, 100);
+  m.note_link(1, 0, 700);
+  m.finalize();
+  ASSERT_TRUE(m.has_links());
+  EXPECT_EQ(m.bound(0, 1), 100u);
+  EXPECT_EQ(m.bound(1, 0), 700u);
+  // Self-pair = shortest cycle through the shard: 100 + 700 both ways.
+  EXPECT_EQ(m.bound(0, 0), 800u);
+  EXPECT_EQ(m.bound(1, 1), 800u);
+
+  const sim::TimePoint next[] = {1000, 2000};
+  // wend(0) = min(1000 + 800, 2000 + 700) - 1; the tighter constraint is
+  // shard 0's own reflected traffic.
+  EXPECT_EQ(m.window_end(0, next, 100000), 1799u);
+  // wend(1) = min(1000 + 100, 2000 + 800) - 1; shard 0's cheap wire into
+  // shard 1 dominates even though shard 1 itself is far ahead.
+  EXPECT_EQ(m.window_end(1, next, 100000), 1099u);
+  EXPECT_EQ(m.window_end(0, next, 1500), 1500u);  // deadline clamps
+}
+
+TEST(LookaheadMatrix, ClosureIsTransitiveAndUnreachableUnconstrained) {
+  // A one-way chain 0 -> 1 -> 2: the closure gives 0 -> 2, nothing flows
+  // backwards, and no cycle exists anywhere.
+  sim::LookaheadMatrix m(3, 1);
+  m.note_link(0, 1, 100);
+  m.note_link(1, 2, 200);
+  m.finalize();
+  EXPECT_EQ(m.bound(0, 2), 300u);
+  EXPECT_EQ(m.bound(2, 0), sim::LookaheadMatrix::kUnreachable);
+  EXPECT_EQ(m.bound(1, 0), sim::LookaheadMatrix::kUnreachable);
+  EXPECT_EQ(m.bound(0, 0), sim::LookaheadMatrix::kUnreachable);
+
+  const sim::TimePoint next[] = {50, kNever, kNever};
+  // Shard 0 is unconstrained (no cycle, upstream shards idle): full window.
+  EXPECT_EQ(m.window_end(0, next, 7777), 7777u);
+  EXPECT_EQ(m.window_end(1, next, 7777), 149u);   // 50 + 100 - 1
+  EXPECT_EQ(m.window_end(2, next, 7777), 349u);   // 50 + 300 - 1
+}
+
+TEST(LookaheadMatrix, IdleShardsImposeNoConstraint) {
+  sim::LookaheadMatrix m(2, 1);
+  m.note_link(0, 1, 100);
+  m.note_link(1, 0, 100);
+  m.finalize();
+  const sim::TimePoint all_idle[] = {kNever, kNever};
+  EXPECT_EQ(m.window_end(0, all_idle, 424242), 424242u);
+  // A horizon near the top of the time axis saturates instead of wrapping.
+  const sim::TimePoint huge[] = {kNever - 10, kNever};
+  EXPECT_EQ(m.window_end(1, huge, 424242), 424242u);
+}
+
+TEST(LookaheadMatrix, UniformModeFallsBackToScalar) {
+  sim::LookaheadMatrix m(2, 1000);
+  m.note_link(0, 1, 50000);
+  m.note_link(1, 0, 50000);
+  m.set_uniform(true);
+  m.finalize();
+  EXPECT_FALSE(m.has_links());
+  EXPECT_EQ(m.bound(0, 1), 1000u);
+  EXPECT_EQ(m.bound(0, 0), 2000u);
+  // Flipping uniform off restores the closure after re-finalizing.
+  m.set_uniform(false);
+  m.finalize();
+  EXPECT_EQ(m.bound(0, 1), 50000u);
+}
+
+// ---- epoch barrier ------------------------------------------------------
+
+TEST(EpochBarrier, SixteenWorkerContentionStress) {
+  // Each worker stamps its slot with the round number, crosses the
+  // barrier, and checks every other slot carries the same stamp — the
+  // barrier must order all pre-barrier writes before all post-barrier
+  // reads.  A second barrier keeps the next round's writes from racing
+  // the readers.  16 workers on however few cores the host has also
+  // exercises the yield path of the backoff.
+  constexpr unsigned kWorkers = 16;
+  constexpr std::uint64_t kRounds = 200;
+  sim::EpochBarrier barrier(kWorkers);
+  std::vector<std::uint64_t> slot(kWorkers, 0);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWorkers);
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t round = 1; round <= kRounds; ++round) {
+        slot[w] = round;
+        barrier.arrive_and_wait();
+        for (unsigned o = 0; o < kWorkers; ++o) {
+          if (slot[o] != round) mismatches.fetch_add(1);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ---- per-pair windows through the conductor -----------------------------
+
+TEST(ShardedConductor, PerPairLookaheadWidensWindowsOverScalar) {
+  // Two busy shards joined by slow 4000ns wires.  With the scalar window
+  // (500ns) every epoch advances ~500ns; with the per-pair matrix the
+  // window stretches to the wire latency.  Same deliveries either way.
+  auto run = [](bool uniform) {
+    struct Ticker {
+      sim::Engine* e = nullptr;
+      sim::TimePoint limit = 0;
+      int count = 0;
+      void arm() {
+        e->schedule_in(100, [this] {
+          ++count;
+          if (e->now() < limit) arm();
+        });
+      }
+    };
+    sim::ShardedConductor c(2, 500, 1);
+    c.note_cross_link(0, 1, 4000);
+    c.note_cross_link(1, 0, 4000);
+    c.set_uniform_window(uniform);
+    Ticker t0{&c.shard(0), 20000};
+    Ticker t1{&c.shard(1), 20000};
+    t0.arm();
+    t1.arm();
+    std::vector<std::uint64_t> fired;
+    c.shard(0).schedule_at(1000, [&c, &fired] {
+      c.post(0, 1, 1000 + 4000, [&c, &fired] {
+        fired.push_back(c.shard(1).now());
+      });
+    });
+    c.run_until(20000);
+    return std::tuple(c.epochs(), t0.count + t1.count, fired);
+  };
+  const auto [epochs_pairs, ticks_pairs, fired_pairs] = run(false);
+  const auto [epochs_scalar, ticks_scalar, fired_scalar] = run(true);
+  EXPECT_EQ(ticks_pairs, ticks_scalar);
+  ASSERT_EQ(fired_pairs, fired_scalar);
+  ASSERT_EQ(fired_pairs.size(), 1u);
+  EXPECT_EQ(fired_pairs[0], 5000u);
+  // ~20000/4000 epochs vs ~20000/500: at least 4x fewer with the matrix.
+  EXPECT_LT(epochs_pairs * 4, epochs_scalar);
+}
+
 // ---- two-machine fabric: sharded vs single-engine twin -----------------
 
 struct MacroDigest {
@@ -164,6 +329,43 @@ TEST(ShardedMacro, WorkerCountIsInvisibleInResults) {
   const auto w1 = run_macro(4, 1);
   expect_identical(w1, run_macro(4, 2));
   expect_identical(w1, run_macro(4, 4));
+}
+
+TEST(ShardedMacro, MacroSmokeTopologyBitIdenticalAcrossShards) {
+  // The macro-scale topology exercises everything this PR added at once:
+  // note_cross_link-fed per-pair windows (fabric hop + spine links),
+  // distributed spine hosting (FabricConfig::distribute_spines defaults
+  // on), and the fused epoch loop.  All of it must be invisible in the
+  // simulated outputs.
+  auto run = [](int shards) {
+    scenario::MacroScaleConfig cfg;
+    cfg.seed = 7;
+    cfg.machines = 8;
+    cfg.machines_per_rack = 4;
+    cfg.spines = 2;
+    cfg.trace_users = 12;
+    cfg.flows = 96;
+    cfg.arrival_window = sim::milliseconds(40);
+    cfg.drain = sim::milliseconds(30);
+    cfg.tcp_streams = 1;
+    cfg.shards = shards;
+    cfg.max_workers = static_cast<unsigned>(shards);
+    return scenario::run_macro_scale(cfg);
+  };
+  const auto base = run(1);
+  const auto sharded = run(4);
+  EXPECT_BITS_EQ(base.flow_digest, sharded.flow_digest);
+  EXPECT_BITS_EQ(base.rr_transactions, sharded.rr_transactions);
+  EXPECT_BITS_EQ(base.rr_latency_ns_sum, sharded.rr_latency_ns_sum);
+  EXPECT_BITS_EQ(base.stream_bytes_delivered, sharded.stream_bytes_delivered);
+  EXPECT_BITS_EQ(base.flows_completed, sharded.flows_completed);
+  EXPECT_EQ(base.events_total, sharded.events_total);
+  // Epoch-loop telemetry is live and consistent.
+  EXPECT_GT(sharded.epochs, 0u);
+  EXPECT_GT(sharded.cross_posts, 0u);
+  EXPECT_EQ(sharded.drained_posts, sharded.cross_posts);
+  ASSERT_EQ(sharded.idle_windows.size(), 4u);
+  ASSERT_EQ(sharded.barrier_wait_ns.size(), 4u);
 }
 
 TEST(ShardedMacro, ReportsExecutionShape) {

@@ -64,12 +64,17 @@ def load_dir(bench_dir: str, deterministic_only: bool = True) -> dict:
 
 
 def load_execution(bench_dir: str) -> dict:
-    """Returns {bench_name: {shards, worker_threads, per_shard_events}}.
+    """Returns {bench_name: {shards, worker_threads, per_shard_events,
+    [epochs, fused_epochs, cross_posts, drained_posts, idle_windows,
+    barrier_wait_ns]}}.
 
     Execution shape is reporting only (it varies with the host and the
     --shards flag) and is therefore folded into the summary artifact but
-    never compared by check/diff.  Older BENCH files without the fields
-    default to the single-engine shape.
+    never compared by check/diff.  Benches driving a ShardedConductor also
+    emit a nested "execution" object with the conductor's epoch-loop
+    counters (ShardedConductor::stats()); those keys are flattened in.
+    Older BENCH files without the fields default to the single-engine
+    shape.
     """
     out = {}
     paths = sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json")))
@@ -78,11 +83,13 @@ def load_execution(bench_dir: str) -> dict:
     for path in paths:
         with open(path) as f:
             doc = json.load(f)
-        out[doc["bench"]] = {
+        entry = {
             "shards": doc.get("shards", 1),
             "worker_threads": doc.get("worker_threads", 1),
             "per_shard_events": doc.get("per_shard_events", []),
         }
+        entry.update(doc.get("execution", {}))
+        out[doc["bench"]] = entry
     return out
 
 
